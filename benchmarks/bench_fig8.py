@@ -1,0 +1,34 @@
+"""Fig. 8 — mean inference time per raw trajectory, by stay-point bucket.
+
+Regenerates the paper's Fig. 8 series from the recorded per-trajectory
+wall times, and benchmarks each method's detection call directly so the
+relative ordering is measured live by pytest-benchmark as well.
+
+Paper shape to check: LEAD answers with a single forward computation per
+component, while SP-R scans its whole white list per stay point and
+SP-GRU/SP-LSTM classify stay points one at a time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import format_timing_table
+
+
+def test_fig8_timing_table(experiment, benchmark):
+    results = experiment.fig8()
+    print()
+    print(format_timing_table(
+        results, "Fig. 8: mean inference time by #stay points"))
+    lead = experiment.lead_variant("LEAD")
+    test_set = experiment.test_set()
+    benchmark(lambda: [lead.detect_processed(p).pair
+                       for p, _ in test_set[:5]])
+
+
+@pytest.mark.parametrize("method", ["SP-R", "SP-GRU", "SP-LSTM", "LEAD"])
+def test_fig8_per_method(experiment, sample_processed, benchmark, method):
+    detect = experiment._detect_fn(method, verbose=False)
+    result = benchmark(lambda: detect(sample_processed))
+    assert isinstance(result, tuple) or result is not None

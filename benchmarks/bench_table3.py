@@ -1,0 +1,26 @@
+"""Table III — detection accuracy of SP-R / SP-GRU / SP-LSTM / LEAD.
+
+Regenerates the paper's Table III rows (accuracy by stay-point bucket)
+from cached artifacts and benchmarks the online LEAD detection call.
+
+Paper shape to check: LEAD >> SP-LSTM >= SP-GRU > SP-R, and accuracy
+decreases as the number of stay points grows.
+"""
+
+from __future__ import annotations
+
+from repro.eval import accuracy_by_bucket, format_accuracy_table
+
+
+def test_table3_accuracy(experiment, trained_lead, sample_processed,
+                         benchmark):
+    results = experiment.table3()
+    print()
+    print(format_accuracy_table(
+        results, "Table III: accuracy of baselines and LEAD (%)"))
+    overall = {method: accuracy_by_bucket(records)["3~14"][0]
+               for method, records in results.items()}
+    print(f"\noverall: {overall}")
+
+    # The benchmarked operation: one online detection (Eq. 13 end to end).
+    benchmark(lambda: trained_lead.detect_processed(sample_processed))

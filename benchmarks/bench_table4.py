@@ -1,0 +1,26 @@
+"""Table IV — ablation study: LEAD vs its six variants.
+
+Regenerates the paper's Table IV (accuracy by stay-point bucket for
+LEAD-NoPoi/NoSel/NoHie/NoGro/NoFor/NoBac and full LEAD) and benchmarks a
+variant's online detection.
+
+Paper shape to check: full LEAD is best everywhere; NoPoi hurts the most;
+NoFor/NoBac hurt the least.
+"""
+
+from __future__ import annotations
+
+from repro.eval import accuracy_by_bucket, format_accuracy_table
+
+
+def test_table4_ablations(experiment, sample_processed, benchmark):
+    results = experiment.table4()
+    print()
+    print(format_accuracy_table(
+        results, "Table IV: accuracy of LEAD and LEAD-variants (%)"))
+    overall = {method: round(accuracy_by_bucket(records)["3~14"][0], 1)
+               for method, records in results.items()}
+    print(f"\noverall: {overall}")
+
+    nogro = experiment.lead_variant("LEAD-NoGro")
+    benchmark(lambda: nogro.detect_processed(sample_processed))

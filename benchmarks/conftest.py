@@ -1,0 +1,33 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Benchmarks regenerate the paper's tables/figures from cached artifacts
+(trained once per scale; see ``repro.experiments``).  Select the scale
+with ``REPRO_SCALE`` (default ``default``; use ``tiny`` for a smoke run).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import Experiment
+
+
+@pytest.fixture(scope="session")
+def experiment() -> Experiment:
+    return Experiment()
+
+
+@pytest.fixture(scope="session")
+def trained_lead(experiment):
+    return experiment.lead_variant("LEAD")
+
+
+@pytest.fixture(scope="session")
+def sample_processed(experiment):
+    """One processed test trajectory, for micro-benchmarks."""
+    test_set = experiment.test_set()
+    if not test_set:
+        pytest.skip("empty test set at this scale")
+    # Pick the median-size trajectory for a representative workload.
+    ordered = sorted(test_set, key=lambda item: item[0].num_stay_points)
+    return ordered[len(ordered) // 2][0]

@@ -1,0 +1,89 @@
+"""Discovering unregistered loading/unloading sites from detections.
+
+The paper's introduction (reason 1) says governments use the origins and
+destinations of loaded trajectories to identify illegal loading and
+unloading locations.  This example clusters the endpoints of detected
+loaded trajectories and flags clusters far from every *registered* site —
+the workflow of ICFinder (Zhu et al., 2021 [4]) built on top of LEAD.
+
+Usage::
+
+    python examples/illegal_site_discovery.py
+"""
+
+import numpy as np
+
+from repro import (DatasetConfig, LEAD, LEADConfig, SyntheticWorld,
+                   WorldConfig, generate_dataset)
+from repro.detection import DetectorTrainingConfig
+from repro.encoding import AutoencoderTrainingConfig
+from repro.geo import haversine_m
+
+REGISTERED_FRACTION = 0.7   # only 70% of real l/u sites are registered
+MATCH_RADIUS_M = 600.0
+
+
+def cluster_endpoints(points: list[tuple[float, float]],
+                      radius_m: float = 400.0
+                      ) -> list[tuple[float, float, int]]:
+    """Greedy radius clustering: (lat, lng, member count) per cluster."""
+    clusters: list[list[tuple[float, float]]] = []
+    for lat, lng in points:
+        for members in clusters:
+            center = np.mean(members, axis=0)
+            if haversine_m(lat, lng, center[0], center[1]) <= radius_m:
+                members.append((lat, lng))
+                break
+        else:
+            clusters.append([(lat, lng)])
+    return [(*np.mean(members, axis=0), len(members))
+            for members in clusters]
+
+
+def main() -> None:
+    world = SyntheticWorld(WorldConfig(seed=47))
+    dataset = generate_dataset(
+        DatasetConfig(num_trajectories=50, num_trucks=20, seed=47),
+        world=world)
+    train, _, test = dataset.split_by_truck((8, 1, 1), seed=0)
+
+    # Pretend the government registry covers only part of the real sites.
+    rng = np.random.default_rng(0)
+    registered = [site for site in world.lu_sites
+                  if rng.uniform() < REGISTERED_FRACTION]
+    print(f"registry: {len(registered)} of {len(world.lu_sites)} real sites")
+
+    lead = LEAD(world.pois, LEADConfig(
+        encoder_training=AutoencoderTrainingConfig(
+            epochs=2, max_samples_per_epoch=120, seed=0),
+        detector_training=DetectorTrainingConfig(epochs=4, seed=0)))
+    lead.fit(train.samples)
+
+    endpoints = []
+    for sample in list(train) + list(test):
+        result = lead.detect(sample.trajectory)
+        if result is None:
+            continue
+        candidate = result.candidate
+        endpoints.append(candidate.stay_points[0].centroid)
+        endpoints.append(candidate.stay_points[-1].centroid)
+
+    clusters = cluster_endpoints(endpoints)
+    suspicious = []
+    for lat, lng, count in clusters:
+        distance = min(haversine_m(lat, lng, s.lat, s.lng)
+                       for s in registered)
+        if distance > MATCH_RADIUS_M and count >= 2:
+            suspicious.append((lat, lng, count, distance))
+
+    print(f"detected {len(endpoints)} l/u endpoints forming "
+          f"{len(clusters)} clusters")
+    print(f"{len(suspicious)} clusters match no registered site:")
+    for lat, lng, count, distance in sorted(suspicious,
+                                            key=lambda s: -s[2])[:10]:
+        print(f"  ({lat:.4f}, {lng:.4f})  visits={count:2d}  "
+              f"nearest registered site {distance/1000:.1f} km away")
+
+
+if __name__ == "__main__":
+    main()

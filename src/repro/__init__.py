@@ -1,0 +1,69 @@
+"""LEAD: Detecting Loaded Trajectories for Hazardous Chemicals Transportation.
+
+A full reproduction of Liu et al., ICDE 2022, including the neural
+substrate, a synthetic Nantong-like data substrate, the LEAD framework and
+its six ablation variants, the three stay-point baselines, and the
+evaluation harness that regenerates every table and figure of the paper.
+
+Quickstart::
+
+    from repro import (DatasetConfig, LEAD, LEADConfig, SyntheticWorld,
+                       WorldConfig, generate_dataset)
+
+    world = SyntheticWorld(WorldConfig(seed=1))
+    dataset = generate_dataset(DatasetConfig(num_trajectories=200), world=world)
+    train, val, test = dataset.split_by_truck()
+    lead = LEAD(world.pois, LEADConfig())
+    lead.fit(train.samples)
+    result = lead.detect(test[0].trajectory)
+    print(result.pair)
+"""
+
+from .model import (CandidateTrajectory, GPSPoint, LoadedLabel, MovePoint,
+                    StayPoint, TimeInterval, Trajectory)
+from .data import (DatasetConfig, HCTDataset, LabeledSample, POIDatabase,
+                   SimulatorConfig, SyntheticWorld, TruckDaySimulator,
+                   WorldConfig, generate_dataset, make_fleet)
+from .processing import (CandidateGenerator, NoiseFilter,
+                         ProcessedTrajectory, RawTrajectoryProcessor,
+                         StayPointExtractor)
+from .features import (CandidateFeaturizer, FeatureConfig, FeatureExtractor,
+                       ZScoreNormalizer)
+from .encoding import (AutoencoderTrainer, AutoencoderTrainingConfig,
+                       EncoderConfig, HierarchicalAutoencoder)
+from .detection import (DetectorSample, DetectorTrainer,
+                        DetectorTrainingConfig, GroupDetector,
+                        IndependentDetector)
+from .baselines import SPNNDetector, SPRDetector
+from .pipeline import (DetectionResult, FitReport, LEAD, LEADConfig,
+                       VARIANT_NAMES, variant_config)
+from .eval import (DetectionRecord, accuracy, accuracy_by_bucket,
+                   evaluate_detector, prepare_test_set)
+from .analysis import (Waybill, audit_detection, find_unregistered_sites,
+                       waybill_from_detection)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GPSPoint", "Trajectory", "StayPoint", "MovePoint",
+    "CandidateTrajectory", "TimeInterval", "LoadedLabel",
+    "POIDatabase", "SyntheticWorld", "WorldConfig", "SimulatorConfig",
+    "TruckDaySimulator", "make_fleet", "DatasetConfig", "HCTDataset",
+    "LabeledSample", "generate_dataset",
+    "NoiseFilter", "StayPointExtractor", "CandidateGenerator",
+    "RawTrajectoryProcessor", "ProcessedTrajectory",
+    "FeatureConfig", "FeatureExtractor", "CandidateFeaturizer",
+    "ZScoreNormalizer",
+    "EncoderConfig", "HierarchicalAutoencoder", "AutoencoderTrainer",
+    "AutoencoderTrainingConfig",
+    "GroupDetector", "IndependentDetector", "DetectorSample",
+    "DetectorTrainer", "DetectorTrainingConfig",
+    "SPRDetector", "SPNNDetector",
+    "LEAD", "LEADConfig", "DetectionResult", "FitReport",
+    "VARIANT_NAMES", "variant_config",
+    "DetectionRecord", "accuracy", "accuracy_by_bucket",
+    "evaluate_detector", "prepare_test_set",
+    "Waybill", "waybill_from_detection", "audit_detection",
+    "find_unregistered_sites",
+    "__version__",
+]

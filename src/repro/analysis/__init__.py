@@ -1,0 +1,22 @@
+"""Downstream analyses on detected loaded trajectories.
+
+The paper's introduction motivates loaded-trajectory detection with three
+government use cases: identifying illegal loading/unloading locations,
+checking regulation compliance, and improving urban planning.  This
+package provides those analyses as library APIs (the examples are thin
+wrappers around them).
+"""
+
+from .waybill import Waybill, waybill_from_detection, waybill_errors
+from .compliance import (ComplianceRule, CurfewRule, UrbanAreaRule,
+                         Violation, audit_detection)
+from .sites import (SiteCluster, cluster_endpoints, detection_endpoints,
+                    find_unregistered_sites)
+
+__all__ = [
+    "Waybill", "waybill_from_detection", "waybill_errors",
+    "ComplianceRule", "CurfewRule", "UrbanAreaRule", "Violation",
+    "audit_detection",
+    "SiteCluster", "cluster_endpoints", "detection_endpoints",
+    "find_unregistered_sites",
+]

@@ -1,0 +1,107 @@
+"""Regulation-compliance auditing of loaded trajectories.
+
+The paper cites two concrete regulations: a loaded HCT truck must not
+enter main urban areas, and must not move on roads between 2:00 and
+5:00 am [5].  Rules are small strategy objects so cities can add their
+own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geo import BoundingBox
+from ..model import Trajectory
+from ..pipeline import DetectionResult
+
+__all__ = ["Violation", "ComplianceRule", "UrbanAreaRule", "CurfewRule",
+           "audit_detection"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected rule violation."""
+
+    rule: str
+    description: str
+    severity: float  # 0..1, fraction of the loaded leg affected
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.severity <= 1.0:
+            raise ValueError("severity must be in [0, 1]")
+
+
+class ComplianceRule:
+    """Base class: check a loaded subtrajectory, return violations."""
+
+    name = "rule"
+
+    def check(self, loaded: Trajectory) -> list[Violation]:
+        raise NotImplementedError
+
+
+class UrbanAreaRule(ComplianceRule):
+    """No loaded driving inside the main urban area."""
+
+    name = "urban-area"
+
+    def __init__(self, urban_area: BoundingBox) -> None:
+        self.urban_area = urban_area
+
+    def check(self, loaded: Trajectory) -> list[Violation]:
+        if len(loaded) == 0:
+            return []
+        inside = np.array([self.urban_area.contains(lat, lng)
+                           for lat, lng in zip(loaded.lats, loaded.lngs)])
+        if not inside.any():
+            return []
+        fraction = float(inside.mean())
+        return [Violation(
+            rule=self.name,
+            description=(f"{100 * fraction:.0f}% of loaded GPS fixes "
+                         f"inside the restricted urban area"),
+            severity=fraction)]
+
+
+class CurfewRule(ComplianceRule):
+    """No loaded movement during the night curfew (default 2:00-5:00 am)."""
+
+    name = "curfew"
+
+    def __init__(self, start_s: float = 2 * 3600.0,
+                 end_s: float = 5 * 3600.0,
+                 moving_speed_kmh: float = 10.0) -> None:
+        if end_s <= start_s:
+            raise ValueError("curfew must end after it starts")
+        self.start_s = start_s
+        self.end_s = end_s
+        self.moving_speed_kmh = moving_speed_kmh
+
+    def check(self, loaded: Trajectory) -> list[Violation]:
+        if len(loaded) < 2:
+            return []
+        speeds = loaded.segment_speeds_kmh()
+        mids = (loaded.ts[:-1] + loaded.ts[1:]) / 2.0
+        seconds_of_day = np.mod(mids, 86_400.0)
+        moving = ((speeds > self.moving_speed_kmh)
+                  & (seconds_of_day >= self.start_s)
+                  & (seconds_of_day <= self.end_s))
+        if not moving.any():
+            return []
+        return [Violation(
+            rule=self.name,
+            description=(f"moved while loaded during the curfew on "
+                         f"{int(moving.sum())} trajectory segments"),
+            severity=float(moving.mean()))]
+
+
+def audit_detection(result: DetectionResult,
+                    rules: list[ComplianceRule]) -> list[Violation]:
+    """Run every rule against the detected loaded subtrajectory."""
+    loaded = result.candidate.subtrajectory()
+    violations: list[Violation] = []
+    for rule in rules:
+        violations.extend(rule.check(loaded))
+    return violations

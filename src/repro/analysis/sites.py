@@ -1,0 +1,96 @@
+"""Loading/unloading site discovery from detections.
+
+Aggregating the endpoints of detected loaded trajectories reveals the
+city's real loading/unloading locations; clusters far from every
+*registered* facility are candidates for illegal sites (the ICFinder
+use case the paper cites as [4]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geo import haversine_m
+from ..pipeline import DetectionResult
+
+__all__ = ["SiteCluster", "cluster_endpoints", "find_unregistered_sites"]
+
+
+@dataclass(frozen=True)
+class SiteCluster:
+    """A cluster of detected l/u endpoints."""
+
+    lat: float
+    lng: float
+    visits: int
+
+    def __post_init__(self) -> None:
+        if self.visits < 1:
+            raise ValueError("a cluster needs at least one visit")
+
+
+def cluster_endpoints(points: list[tuple[float, float]],
+                      radius_m: float = 400.0) -> list[SiteCluster]:
+    """Greedy incremental radius clustering of (lat, lng) endpoints.
+
+    Deterministic given point order; adequate for the hundreds of
+    endpoints a city produces per day.
+    """
+    if radius_m <= 0:
+        raise ValueError("radius must be positive")
+    members: list[list[tuple[float, float]]] = []
+    for lat, lng in points:
+        for cluster in members:
+            center = np.mean(cluster, axis=0)
+            if haversine_m(lat, lng, float(center[0]),
+                           float(center[1])) <= radius_m:
+                cluster.append((lat, lng))
+                break
+        else:
+            members.append([(lat, lng)])
+    clusters = []
+    for cluster in members:
+        center = np.mean(cluster, axis=0)
+        clusters.append(SiteCluster(float(center[0]), float(center[1]),
+                                    len(cluster)))
+    return clusters
+
+
+def detection_endpoints(results: list[DetectionResult]
+                        ) -> list[tuple[float, float]]:
+    """Loading and unloading centroids of detected loaded trajectories."""
+    endpoints = []
+    for result in results:
+        candidate = result.candidate
+        endpoints.append(candidate.stay_points[0].centroid)
+        endpoints.append(candidate.stay_points[-1].centroid)
+    return endpoints
+
+
+def find_unregistered_sites(results: list[DetectionResult],
+                            registered: list[tuple[float, float]],
+                            match_radius_m: float = 600.0,
+                            min_visits: int = 2,
+                            cluster_radius_m: float = 400.0
+                            ) -> list[SiteCluster]:
+    """Clusters of detected l/u activity far from every registered site.
+
+    Returns clusters with at least ``min_visits`` endpoint visits whose
+    center is more than ``match_radius_m`` from every registered
+    location, sorted by visit count (most active first).
+    """
+    clusters = cluster_endpoints(detection_endpoints(results),
+                                 cluster_radius_m)
+    suspicious = []
+    for cluster in clusters:
+        if cluster.visits < min_visits:
+            continue
+        if registered:
+            nearest = min(haversine_m(cluster.lat, cluster.lng, lat, lng)
+                          for lat, lng in registered)
+            if nearest <= match_radius_m:
+                continue
+        suspicious.append(cluster)
+    return sorted(suspicious, key=lambda c: -c.visits)

@@ -1,0 +1,69 @@
+"""Automatic waybill generation (paper introduction).
+
+A waybill records when and where hazardous chemicals were loaded and
+unloaded.  Drivers fill them manually and badly; with the loaded
+trajectory detected, a high-quality waybill "can be automatically
+generated", easing the drivers' burden and giving regulators reliable
+loading/unloading information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geo import haversine_m
+from ..model import LoadedLabel
+from ..pipeline import DetectionResult
+
+__all__ = ["Waybill", "waybill_from_detection", "waybill_errors"]
+
+
+@dataclass(frozen=True)
+class Waybill:
+    """Loading/unloading times (unix seconds) and locations (WGS84)."""
+
+    loading_t: float
+    unloading_t: float
+    loading_lat: float
+    loading_lng: float
+    unloading_lat: float
+    unloading_lng: float
+
+    def __post_init__(self) -> None:
+        if self.unloading_t < self.loading_t:
+            raise ValueError("waybill unloads before it loads")
+
+
+def waybill_from_detection(result: DetectionResult) -> Waybill:
+    """Generate a waybill from a detected loaded trajectory.
+
+    The loading time/location come from the starting stay point of the
+    detected candidate, the unloading ones from its ending stay point.
+    """
+    candidate = result.candidate
+    loading = candidate.stay_points[0]
+    unloading = candidate.stay_points[-1]
+    return Waybill(
+        loading_t=loading.arrival_t,
+        unloading_t=unloading.arrival_t,
+        loading_lat=loading.centroid[0],
+        loading_lng=loading.centroid[1],
+        unloading_lat=unloading.centroid[0],
+        unloading_lng=unloading.centroid[1])
+
+
+def waybill_errors(waybill: Waybill, label: LoadedLabel
+                   ) -> tuple[float, float]:
+    """Waybill quality vs ground truth.
+
+    Returns ``(mean time error in minutes, mean location error in
+    meters)``, averaging the loading and unloading ends.
+    """
+    time_error_s = (abs(waybill.loading_t - label.loading.start)
+                    + abs(waybill.unloading_t - label.unloading.start)) / 2.0
+    location_error_m = (
+        haversine_m(waybill.loading_lat, waybill.loading_lng,
+                    label.loading_lat, label.loading_lng)
+        + haversine_m(waybill.unloading_lat, waybill.unloading_lng,
+                      label.unloading_lat, label.unloading_lng)) / 2.0
+    return time_error_s / 60.0, location_error_m

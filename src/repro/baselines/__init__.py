@@ -1,0 +1,10 @@
+"""Stay point-based baselines: SP-R, SP-GRU, SP-LSTM (DESIGN.md S20)."""
+
+from .base import greedy_selection
+from .sp_r import SPRDetector, WhiteList
+from .sp_nn import SPNNDetector, SPNNTrainingConfig, StayPointClassifier
+
+__all__ = [
+    "greedy_selection", "SPRDetector", "WhiteList",
+    "SPNNDetector", "SPNNTrainingConfig", "StayPointClassifier",
+]

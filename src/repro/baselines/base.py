@@ -1,0 +1,32 @@
+"""Shared machinery of the stay-point baselines (paper §VI-A).
+
+All three baselines (SP-R, SP-GRU, SP-LSTM) classify each stay point as an
+l/u (loading/unloading) stay point or an ordinary one, then apply the same
+greedy strategy: the earliest l/u stay point is the loading stay point and
+the latest is the unloading stay point.  With fewer than two l/u stay
+points the detection falls back to the *default loaded trajectory* — first
+extracted stay point to last.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["greedy_selection"]
+
+
+def greedy_selection(num_stay_points: int,
+                     lu_flags: Sequence[bool]) -> tuple[int, int]:
+    """Map per-stay-point l/u flags to an (i', j') ordinal pair.
+
+    Returns 1-based ordinals.  Applies the paper's default fallback when
+    fewer than two l/u stay points were found.
+    """
+    if num_stay_points < 2:
+        raise ValueError("need at least two stay points")
+    if len(lu_flags) != num_stay_points:
+        raise ValueError("one flag per stay point required")
+    lu_ordinals = [i + 1 for i, flag in enumerate(lu_flags) if flag]
+    if len(lu_ordinals) >= 2:
+        return (lu_ordinals[0], lu_ordinals[-1])
+    return (1, num_stay_points)

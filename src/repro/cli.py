@@ -1,0 +1,154 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro.cli generate --out data.json.gz --trajectories 100
+    python -m repro.cli train    --data data.json.gz --out model/
+    python -m repro.cli detect   --data data.json.gz --model model/ --index 0
+    python -m repro.cli evaluate --data data.json.gz --model model/
+    python -m repro.cli tables   --scale small
+
+``generate``/``train``/``detect``/``evaluate`` operate on explicit files;
+``tables`` drives the cached experiment harness (the same artifacts the
+benchmarks use).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .data import DatasetConfig, SyntheticWorld, WorldConfig, \
+        generate_dataset
+    world = SyntheticWorld(WorldConfig(seed=args.seed))
+    dataset = generate_dataset(
+        DatasetConfig(num_trajectories=args.trajectories,
+                      num_trucks=max(1, args.trajectories // 2),
+                      seed=args.seed, world=WorldConfig(seed=args.seed)),
+        world=world)
+    path = dataset.save(args.out)
+    print(f"wrote {len(dataset)} labelled truck-days to {path}")
+    return 0
+
+
+def _world_for_seed(seed: int):
+    from .data import SyntheticWorld, WorldConfig
+    return SyntheticWorld(WorldConfig(seed=seed))
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from .data import HCTDataset
+    from .pipeline import LEAD, LEADConfig
+    dataset = HCTDataset.load(args.data)
+    train, _, _ = dataset.split_by_truck((8, 1, 1), seed=args.seed)
+    world = _world_for_seed(args.seed)
+    lead = LEAD(world.pois, LEADConfig(seed=args.seed))
+    report = lead.fit(train.samples, verbose=True)
+    lead.save(args.out)
+    print(f"trained on {report.num_trajectories_used} trajectories; "
+          f"weights saved to {args.out}")
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    from .data import HCTDataset
+    from .pipeline import LEAD, LEADConfig
+    from .analysis import waybill_from_detection
+    dataset = HCTDataset.load(args.data)
+    world = _world_for_seed(args.seed)
+    lead = LEAD(world.pois, LEADConfig(seed=args.seed)).load(args.model)
+    sample = dataset[args.index]
+    result = lead.detect(sample.trajectory)
+    if result is None:
+        print("trajectory has too few stay points")
+        return 1
+    waybill = waybill_from_detection(result)
+    print(f"truck {sample.trajectory.truck_id} {sample.trajectory.day}: "
+          f"loaded trajectory <sp_{result.pair[0]} --> sp_{result.pair[1]}>")
+    print(f"  loading  {waybill.loading_t / 3600:5.2f}h at "
+          f"({waybill.loading_lat:.5f}, {waybill.loading_lng:.5f})")
+    print(f"  unloading {waybill.unloading_t / 3600:4.2f}h at "
+          f"({waybill.unloading_lat:.5f}, {waybill.unloading_lng:.5f})")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from .data import HCTDataset
+    from .eval import (accuracy_by_bucket, endpoint_accuracy,
+                       evaluate_detector, overlap_score, prepare_test_set)
+    from .pipeline import LEAD, LEADConfig
+    dataset = HCTDataset.load(args.data)
+    _, val, test = dataset.split_by_truck((8, 1, 1), seed=args.seed)
+    world = _world_for_seed(args.seed)
+    lead = LEAD(world.pois, LEADConfig(seed=args.seed)).load(args.model)
+    test_set = prepare_test_set(list(val) + list(test), lead.processor)
+    records = evaluate_detector(
+        lambda p: lead.detect_processed(p).pair, test_set)
+    for bucket, (acc, count) in accuracy_by_bucket(records).items():
+        print(f"  {bucket:>6}: {acc:5.1f}%  (n={count})")
+    print(f"  endpoint accuracy: {endpoint_accuracy(records)}")
+    print(f"  interval IoU: {overlap_score(records):.3f}")
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from .experiments import Experiment, get_experiment_config
+    from .eval import format_accuracy_table, format_timing_table
+    experiment = Experiment(get_experiment_config(args.scale))
+    print(format_accuracy_table(experiment.table3(), "Table III"))
+    print()
+    print(format_accuracy_table(experiment.table4(), "Table IV"))
+    print()
+    print(format_timing_table(experiment.fig8(), "Fig. 8"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="LEAD reproduction command line")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a synthetic dataset")
+    p.add_argument("--out", required=True)
+    p.add_argument("--trajectories", type=int, default=100)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("train", help="train LEAD on a dataset file")
+    p.add_argument("--data", required=True)
+    p.add_argument("--out", required=True)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser("detect", help="detect one trajectory's loaded part")
+    p.add_argument("--data", required=True)
+    p.add_argument("--model", required=True)
+    p.add_argument("--index", type=int, default=0)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=_cmd_detect)
+
+    p = sub.add_parser("evaluate", help="evaluate a trained model")
+    p.add_argument("--data", required=True)
+    p.add_argument("--model", required=True)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=_cmd_evaluate)
+
+    p = sub.add_parser("tables", help="print the paper's tables")
+    p.add_argument("--scale", default="small",
+                   choices=["tiny", "small", "default"])
+    p.set_defaults(func=_cmd_tables)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

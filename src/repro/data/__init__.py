@@ -1,0 +1,20 @@
+"""Synthetic Nantong-like world, simulator, and dataset (DESIGN.md S7-S10)."""
+
+from .poi import (CHEMICAL_CATEGORIES, POI, POI_CATEGORIES, POIDatabase,
+                  REST_CATEGORIES)
+from .roadnet import EDGE_SPEEDS_KMH, RoadNetwork, Route
+from .world import Site, SyntheticWorld, WorldConfig
+from .simulator import (SimulatorConfig, Truck, TruckDaySimulator,
+                        make_fleet, STAY_COUNT_BUCKETS)
+from .dataset import (DatasetConfig, HCTDataset, LabeledSample,
+                      generate_dataset)
+
+__all__ = [
+    "POI", "POIDatabase", "POI_CATEGORIES", "CHEMICAL_CATEGORIES",
+    "REST_CATEGORIES",
+    "RoadNetwork", "Route", "EDGE_SPEEDS_KMH",
+    "Site", "SyntheticWorld", "WorldConfig",
+    "SimulatorConfig", "Truck", "TruckDaySimulator", "make_fleet",
+    "STAY_COUNT_BUCKETS",
+    "DatasetConfig", "HCTDataset", "LabeledSample", "generate_dataset",
+]

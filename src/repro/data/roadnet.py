@@ -1,0 +1,175 @@
+"""Synthetic road network and router (DESIGN.md S8).
+
+A jittered grid graph over the city bounding box with three edge classes:
+
+* ``highway`` — the outer ring plus two cross-city expressways (fast),
+* ``urban``  — edges inside the urban core (slow; loaded HCT trucks are
+  prohibited from the main urban area, see the paper's introduction),
+* ``local``  — everything else.
+
+The router minimizes travel time; when routing a *loaded* leg it applies a
+heavy penalty to urban edges, producing the detour behaviour the paper
+describes, which in turn is a moving-behaviour signal only candidate-level
+models (LEAD) can exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from ..geo import BoundingBox, LocalProjection, haversine_m
+
+__all__ = ["RoadNetwork", "Route", "EDGE_SPEEDS_KMH"]
+
+#: Free-flow speed by edge class (km/h).
+EDGE_SPEEDS_KMH: dict[str, float] = {
+    "highway": 80.0,
+    "local": 48.0,
+    "urban": 32.0,
+}
+
+_URBAN_AVOID_PENALTY = 6.0
+
+
+@dataclass(frozen=True)
+class Route:
+    """A routed path: waypoints plus per-edge metadata."""
+
+    lats: np.ndarray            # (k,) waypoint latitudes
+    lngs: np.ndarray            # (k,) waypoint longitudes
+    edge_kinds: tuple[str, ...]  # (k-1,) class of each hop
+    edge_lengths_m: np.ndarray  # (k-1,)
+
+    @property
+    def length_m(self) -> float:
+        return float(self.edge_lengths_m.sum())
+
+    @property
+    def num_waypoints(self) -> int:
+        return int(self.lats.size)
+
+    def edge_speeds_kmh(self, speed_factor: float = 1.0) -> np.ndarray:
+        """Free-flow speed of each hop scaled by ``speed_factor``."""
+        return np.array([EDGE_SPEEDS_KMH[k] for k in self.edge_kinds]) \
+            * speed_factor
+
+
+class RoadNetwork:
+    """Grid road network over a bounding box."""
+
+    def __init__(self, bbox: BoundingBox, nx_nodes: int = 18,
+                 ny_nodes: int = 14, seed: int = 0,
+                 urban_core: BoundingBox | None = None) -> None:
+        if nx_nodes < 4 or ny_nodes < 4:
+            raise ValueError("need at least a 4x4 grid")
+        self.bbox = bbox
+        self.urban_core = urban_core or bbox.shrink(0.30)
+        self._projection = LocalProjection(*bbox.center)
+        rng = np.random.default_rng(seed)
+        self.graph = nx.Graph()
+        self._build(nx_nodes, ny_nodes, rng)
+        self._node_ids = list(self.graph.nodes)
+        self._node_latlng = np.array(
+            [self.graph.nodes[n]["latlng"] for n in self._node_ids])
+
+    # ------------------------------------------------------------------
+    def _build(self, nx_nodes: int, ny_nodes: int,
+               rng: np.random.Generator) -> None:
+        lat_step = self.bbox.lat_span / (ny_nodes - 1)
+        lng_step = self.bbox.lng_span / (nx_nodes - 1)
+        for ix in range(nx_nodes):
+            for iy in range(ny_nodes):
+                lat = self.bbox.min_lat + iy * lat_step
+                lng = self.bbox.min_lng + ix * lng_step
+                # Jitter interior nodes so roads are not perfectly straight.
+                if 0 < ix < nx_nodes - 1:
+                    lng += rng.normal(0.0, lng_step * 0.08)
+                if 0 < iy < ny_nodes - 1:
+                    lat += rng.normal(0.0, lat_step * 0.08)
+                self.graph.add_node((ix, iy), latlng=(lat, lng))
+        mid_x, mid_y = nx_nodes // 2, ny_nodes // 2
+        for ix in range(nx_nodes):
+            for iy in range(ny_nodes):
+                for dx, dy in ((1, 0), (0, 1)):
+                    jx, jy = ix + dx, iy + dy
+                    if jx >= nx_nodes or jy >= ny_nodes:
+                        continue
+                    kind = self._edge_kind(ix, iy, jx, jy, nx_nodes,
+                                           ny_nodes, mid_x, mid_y)
+                    a = self.graph.nodes[(ix, iy)]["latlng"]
+                    b = self.graph.nodes[(jx, jy)]["latlng"]
+                    length = haversine_m(a[0], a[1], b[0], b[1])
+                    time_s = length / (EDGE_SPEEDS_KMH[kind] / 3.6)
+                    self.graph.add_edge((ix, iy), (jx, jy), kind=kind,
+                                        length_m=length, time_s=time_s)
+
+    def _edge_kind(self, ix: int, iy: int, jx: int, jy: int,
+                   nx_nodes: int, ny_nodes: int,
+                   mid_x: int, mid_y: int) -> str:
+        on_ring = (min(ix, jx) == 0 or max(ix, jx) == nx_nodes - 1
+                   or min(iy, jy) == 0 or max(iy, jy) == ny_nodes - 1)
+        on_cross = (ix == jx == mid_x) or (iy == jy == mid_y)
+        a = self.graph.nodes[(ix, iy)]["latlng"]
+        b = self.graph.nodes[(jx, jy)]["latlng"]
+        in_core = (self.urban_core.contains(*a)
+                   and self.urban_core.contains(*b))
+        if in_core:
+            return "urban"
+        if on_ring or on_cross:
+            return "highway"
+        return "local"
+
+    # ------------------------------------------------------------------
+    def nearest_node(self, lat: float, lng: float) -> tuple[int, int]:
+        x0, y0 = self._projection.to_xy(lat, lng)
+        xs, ys = self._projection.to_xy(self._node_latlng[:, 0],
+                                        self._node_latlng[:, 1])
+        best = int(np.argmin((xs - float(x0)) ** 2 + (ys - float(y0)) ** 2))
+        return self._node_ids[best]
+
+    def route(self, origin: tuple[float, float],
+              destination: tuple[float, float],
+              avoid_urban: bool = False) -> Route:
+        """Time-optimal route between two (lat, lng) points.
+
+        With ``avoid_urban=True`` urban-core edges are heavily penalized,
+        reproducing the loaded-truck detours around the main urban area.
+        """
+        start = self.nearest_node(*origin)
+        goal = self.nearest_node(*destination)
+
+        if avoid_urban:
+            def weight(u, v, attrs):
+                factor = _URBAN_AVOID_PENALTY if attrs["kind"] == "urban" else 1.0
+                return attrs["time_s"] * factor
+        else:
+            weight = "time_s"
+
+        nodes = nx.shortest_path(self.graph, start, goal, weight=weight)
+        node_latlngs = [self.graph.nodes[n]["latlng"] for n in nodes]
+        waypoints = [tuple(origin)] + node_latlngs + [tuple(destination)]
+        # Access legs (off-graph connectors to the nearest node) count as
+        # local roads; graph hops use the stored edge class.
+        kinds: list[str] = ["local"]
+        kinds.extend(self.graph.edges[u, v]["kind"]
+                     for u, v in zip(nodes[:-1], nodes[1:]))
+        kinds.append("local")
+        lats = np.array([p[0] for p in waypoints])
+        lngs = np.array([p[1] for p in waypoints])
+        lengths = np.array([
+            haversine_m(lats[i], lngs[i], lats[i + 1], lngs[i + 1])
+            for i in range(len(waypoints) - 1)
+        ])
+        return Route(lats, lngs, tuple(kinds), lengths)
+
+    def urban_fraction(self, route: Route) -> float:
+        """Fraction of route length on urban-core edges."""
+        if route.length_m == 0:
+            return 0.0
+        urban = sum(length for kind, length
+                    in zip(route.edge_kinds, route.edge_lengths_m)
+                    if kind == "urban")
+        return float(urban / route.length_m)

@@ -1,0 +1,36 @@
+"""Label processing (paper §V-C).
+
+The real label is a one-hot distribution over candidates (1 at the loaded
+candidate, 0 elsewhere).  Zero probabilities make the KLD loss undefined
+(log 0), so the real label is smoothed: every zero becomes a small constant
+epsilon and the hot entry becomes ``1 - k * epsilon`` where ``k`` is the
+number of smoothed entries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["smooth_label", "DEFAULT_EPSILON"]
+
+DEFAULT_EPSILON = 1e-5
+
+
+def smooth_label(num_candidates: int, target_index: int,
+                 epsilon: float = DEFAULT_EPSILON) -> np.ndarray:
+    """The smoothed label distribution over candidates.
+
+    The same distribution (re-indexed) serves both the forward and the
+    backward detector: KLD pairs label and prediction entries by candidate,
+    so only consistent indexing matters, not the group's internal order.
+    """
+    if num_candidates < 1:
+        raise ValueError("need at least one candidate")
+    if not 0 <= target_index < num_candidates:
+        raise ValueError(
+            f"target index {target_index} out of range 0..{num_candidates - 1}")
+    if not 0.0 < epsilon < 1.0 / max(1, num_candidates):
+        raise ValueError("epsilon too large for this many candidates")
+    label = np.full(num_candidates, epsilon)
+    label[target_index] = 1.0 - (num_candidates - 1) * epsilon
+    return label

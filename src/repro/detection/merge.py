@@ -1,0 +1,33 @@
+"""Merging the two detectors' distributions (paper §V-B workflow).
+
+The forward and backward probability distributions are summed elementwise
+by candidate, then rescaled to [0, 1]; the candidate with the maximum
+merged probability is the detected loaded trajectory (Eq. 13).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["merge_distributions", "argmax_pair"]
+
+
+def merge_distributions(forward: np.ndarray,
+                        backward: np.ndarray | None = None) -> np.ndarray:
+    """Sum (when both are given) and min-max rescale to [0, 1]."""
+    forward = np.asarray(forward, dtype=np.float64)
+    merged = forward if backward is None else forward + np.asarray(backward)
+    if merged.ndim != 1 or merged.size == 0:
+        raise ValueError("expected a non-empty 1-D distribution")
+    span = merged.max() - merged.min()
+    if span <= 0:
+        return np.full(merged.shape, 0.5)
+    return (merged - merged.min()) / span
+
+
+def argmax_pair(merged: np.ndarray, pairs: list[tuple[int, int]]
+                ) -> tuple[int, int]:
+    """The (i', j') of the highest-probability candidate."""
+    if len(merged) != len(pairs):
+        raise ValueError("distribution and pair list sizes differ")
+    return pairs[int(np.argmax(merged))]

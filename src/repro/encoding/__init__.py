@@ -1,0 +1,15 @@
+"""Candidate trajectory encoding — LEAD component 2 (paper §IV).
+
+Feature sequences are compressed into 64-dim c-vecs by a hierarchical
+autoencoder (DESIGN.md S15).
+"""
+
+from .operators import CompressionOperator, DecompressionOperator
+from .autoencoder import EncoderConfig, HierarchicalAutoencoder
+from .trainer import AutoencoderTrainer, AutoencoderTrainingConfig
+
+__all__ = [
+    "CompressionOperator", "DecompressionOperator",
+    "EncoderConfig", "HierarchicalAutoencoder",
+    "AutoencoderTrainer", "AutoencoderTrainingConfig",
+]

@@ -1,0 +1,90 @@
+"""Self-supervised training of the hierarchical autoencoder (paper §IV-B).
+
+All f-seqs derived from the historical raw trajectories are shuffled each
+epoch and the MSE reconstruction loss is minimized with Adam and early
+stopping.  The paper trains with batch size 1 and averages gradients over
+B = 64 consecutive samples; on one CPU core we compute the mathematically
+equivalent mean loss over a padded mini-batch instead, which replaces
+hundreds of small matmuls per update with a few large ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..features import CandidateFeatures
+from ..nn import Adam, EarlyStopping, TrainingHistory, clip_grad_norm
+from .autoencoder import HierarchicalAutoencoder
+
+__all__ = ["AutoencoderTrainer", "AutoencoderTrainingConfig"]
+
+
+@dataclass
+class AutoencoderTrainingConfig:
+    """Training-loop knobs."""
+
+    epochs: int = 12
+    learning_rate: float = 3e-3
+    batch_size: int = 16           # candidates per optimizer step
+    patience: int = 3
+    max_samples_per_epoch: int | None = None
+    max_grad_norm: float = 5.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+
+
+class AutoencoderTrainer:
+    """Fits a :class:`HierarchicalAutoencoder` on candidate f-seqs."""
+
+    def __init__(self, model: HierarchicalAutoencoder,
+                 config: AutoencoderTrainingConfig | None = None) -> None:
+        self.model = model
+        self.config = config or AutoencoderTrainingConfig()
+
+    def fit(self, samples: list[CandidateFeatures],
+            verbose: bool = False) -> TrainingHistory:
+        """Train on (shuffled) candidate feature sequences.
+
+        Returns the per-epoch loss history (used for the paper's Fig. 9).
+        """
+        if not samples:
+            raise ValueError("no training samples")
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        optimizer = Adam(self.model.parameters(), lr=cfg.learning_rate)
+        stopper = EarlyStopping(patience=cfg.patience)
+        history = TrainingHistory(name="hierarchical-autoencoder")
+        self.model.train()
+        for epoch in range(cfg.epochs):
+            order = rng.permutation(len(samples))
+            if cfg.max_samples_per_epoch is not None:
+                order = order[:cfg.max_samples_per_epoch]
+            total = 0.0
+            batches = 0
+            for start in range(0, len(order), cfg.batch_size):
+                chosen = order[start:start + cfg.batch_size]
+                batch = [samples[int(c)] for c in chosen]
+                loss = self.model.reconstruction_loss_batch(batch)
+                optimizer.zero_grad()
+                loss.backward()
+                clip_grad_norm(optimizer.parameters, cfg.max_grad_norm)
+                optimizer.step()
+                total += loss.item()
+                batches += 1
+            epoch_loss = total / batches
+            history.record(epoch_loss)
+            if verbose:
+                print(f"[autoencoder] epoch {epoch}: mse={epoch_loss:.5f}")
+            if stopper.update(epoch_loss):
+                break
+        self.model.eval()
+        return history

@@ -1,0 +1,16 @@
+"""Evaluation: Eq. 14 accuracy, bucketing, timing, report tables."""
+
+from .metrics import (BUCKETS, DetectionRecord, accuracy, accuracy_by_bucket,
+                      bucket_of, endpoint_accuracy,
+                      mean_inference_time_by_bucket, overlap_score)
+from .harness import evaluate_detector, prepare_test_set
+from .report import (format_accuracy_table, format_loss_curves,
+                     format_timing_table)
+
+__all__ = [
+    "BUCKETS", "DetectionRecord", "accuracy", "accuracy_by_bucket",
+    "bucket_of", "mean_inference_time_by_bucket", "endpoint_accuracy",
+    "overlap_score",
+    "evaluate_detector", "prepare_test_set",
+    "format_accuracy_table", "format_timing_table", "format_loss_curves",
+]

@@ -1,0 +1,125 @@
+"""Detection accuracy metrics (paper Eq. 14 and Table III bucketing)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DetectionRecord", "BUCKETS", "bucket_of", "accuracy",
+           "accuracy_by_bucket", "endpoint_accuracy", "overlap_score",
+           "mean_inference_time_by_bucket"]
+
+#: The stay-point-count buckets of the paper's Tables III/IV.
+BUCKETS: tuple[tuple[int, int], ...] = ((3, 5), (6, 8), (9, 11), (12, 14))
+
+
+@dataclass(frozen=True)
+class DetectionRecord:
+    """One test detection: ground truth vs prediction plus timing."""
+
+    num_stay_points: int
+    true_pair: tuple[int, int]
+    detected_pair: tuple[int, int]
+    inference_time_s: float = 0.0
+
+    @property
+    def hit(self) -> bool:
+        """Eq. 14's hit indicator: exact (i', j') match."""
+        return self.detected_pair == self.true_pair
+
+
+def bucket_of(num_stay_points: int) -> str | None:
+    """The bucket label of a stay-point count, or None if out of range."""
+    for lo, hi in BUCKETS:
+        if lo <= num_stay_points <= hi:
+            return f"{lo}~{hi}"
+    return None
+
+
+def accuracy(records: list[DetectionRecord]) -> float:
+    """Overall Acc (%) per Eq. 14."""
+    if not records:
+        raise ValueError("no detection records")
+    return 100.0 * sum(r.hit for r in records) / len(records)
+
+
+def accuracy_by_bucket(records: list[DetectionRecord]
+                       ) -> dict[str, tuple[float, int]]:
+    """Acc (%) and sample count per bucket, plus the ``3~14`` overall row.
+
+    Records outside 3-14 stay points are excluded from the buckets and
+    from the overall row, matching the paper's test-set composition.
+    """
+    if not records:
+        raise ValueError("no detection records")
+    table: dict[str, tuple[float, int]] = {}
+    in_range: list[DetectionRecord] = []
+    for lo, hi in BUCKETS:
+        subset = [r for r in records if lo <= r.num_stay_points <= hi]
+        in_range.extend(subset)
+        if subset:
+            table[f"{lo}~{hi}"] = (accuracy(subset), len(subset))
+        else:
+            table[f"{lo}~{hi}"] = (float("nan"), 0)
+    if in_range:
+        table["3~14"] = (accuracy(in_range), len(in_range))
+    else:
+        table["3~14"] = (float("nan"), 0)
+    return table
+
+
+def endpoint_accuracy(records: list[DetectionRecord]
+                      ) -> dict[str, float]:
+    """Partial-credit diagnostics beyond the paper's exact-pair Acc.
+
+    Returns the percentage of records where the loading stay point was
+    correct, where the unloading stay point was correct, and where at
+    least one endpoint was correct.  Useful for error analysis: a method
+    may locate the loading reliably but mistake a mid-route break for the
+    unloading.
+    """
+    if not records:
+        raise ValueError("no detection records")
+    loading = sum(r.detected_pair[0] == r.true_pair[0] for r in records)
+    unloading = sum(r.detected_pair[1] == r.true_pair[1] for r in records)
+    either = sum(r.detected_pair[0] == r.true_pair[0]
+                 or r.detected_pair[1] == r.true_pair[1] for r in records)
+    n = len(records)
+    return {
+        "loading": 100.0 * loading / n,
+        "unloading": 100.0 * unloading / n,
+        "either": 100.0 * either / n,
+    }
+
+
+def overlap_score(records: list[DetectionRecord]) -> float:
+    """Mean stay-point-interval IoU between detected and true pairs.
+
+    The paper scores only exact matches (Eq. 14); this softer score
+    measures *how wrong* misses are: the intersection-over-union of the
+    detected and true ``[i', j']`` ordinal intervals.
+    """
+    if not records:
+        raise ValueError("no detection records")
+    total = 0.0
+    for r in records:
+        ai, aj = r.detected_pair
+        bi, bj = r.true_pair
+        intersection = max(0, min(aj, bj) - max(ai, bi))
+        union = max(aj, bj) - min(ai, bi)
+        total += intersection / union if union > 0 else 0.0
+    return total / len(records)
+
+
+def mean_inference_time_by_bucket(records: list[DetectionRecord]
+                                  ) -> dict[str, float]:
+    """Mean per-trajectory inference time per bucket (paper Fig. 8)."""
+    if not records:
+        raise ValueError("no detection records")
+    out: dict[str, float] = {}
+    for lo, hi in BUCKETS:
+        subset = [r.inference_time_s for r in records
+                  if lo <= r.num_stay_points <= hi]
+        out[f"{lo}~{hi}"] = float(np.mean(subset)) if subset else float("nan")
+    return out

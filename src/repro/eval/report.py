@@ -1,0 +1,66 @@
+"""Plain-text rendering of the paper's tables and figure series."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .metrics import BUCKETS, DetectionRecord, accuracy_by_bucket, \
+    mean_inference_time_by_bucket
+
+__all__ = ["format_accuracy_table", "format_timing_table",
+           "format_loss_curves"]
+
+_BUCKET_LABELS = [f"{lo}~{hi}" for lo, hi in BUCKETS] + ["3~14"]
+
+
+def format_accuracy_table(results: dict[str, list[DetectionRecord]],
+                          title: str) -> str:
+    """Render an accuracy-by-bucket table (paper Tables III/IV layout)."""
+    lines = [title, ""]
+    header = f"{'Method':<14}" + "".join(f"{label:>10}"
+                                         for label in _BUCKET_LABELS)
+    lines.append(header)
+    lines.append("-" * len(header))
+    share_row = None
+    for method, records in results.items():
+        table = accuracy_by_bucket(records)
+        cells = "".join(f"{table[label][0]:>10.1f}"
+                        for label in _BUCKET_LABELS)
+        lines.append(f"{method:<14}{cells}")
+        if share_row is None:
+            total = sum(table[label][1] for label in _BUCKET_LABELS[:-1])
+            share_row = "".join(
+                f"{100.0 * table[label][1] / max(total, 1):>9.0f}%"
+                for label in _BUCKET_LABELS[:-1]) + f"{'100%':>10}"
+    if share_row is not None:
+        lines.append(f"{'(share)':<14}{share_row}")
+    return "\n".join(lines)
+
+
+def format_timing_table(results: dict[str, list[DetectionRecord]],
+                        title: str) -> str:
+    """Render mean inference time (ms) by bucket (paper Fig. 8 series)."""
+    labels = _BUCKET_LABELS[:-1]
+    lines = [title, ""]
+    header = f"{'Method':<14}" + "".join(f"{label:>12}" for label in labels)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for method, records in results.items():
+        timing = mean_inference_time_by_bucket(records)
+        cells = "".join(f"{1000.0 * timing[label]:>10.1f}ms"
+                        for label in labels)
+        lines.append(f"{method:<14}{cells}")
+    return "\n".join(lines)
+
+
+def format_loss_curves(curves: dict[str, list[float]], title: str,
+                       loss_name: str = "loss") -> str:
+    """Render per-epoch loss curves (paper Figs. 9/10 series)."""
+    lines = [title, ""]
+    for name, losses in curves.items():
+        best_epoch = int(np.argmin(losses))
+        rendered = " ".join(f"{value:.4f}" for value in losses)
+        lines.append(f"{name}: [{rendered}]")
+        lines.append(f"  -> minimized at epoch {best_epoch} with "
+                     f"{loss_name}={losses[best_epoch]:.4f}")
+    return "\n".join(lines)

@@ -1,0 +1,7 @@
+"""Experiment harness with a disk artifact cache (DESIGN.md S22)."""
+
+from .config import ExperimentConfig, artifact_root, get_experiment_config
+from .runner import Experiment
+
+__all__ = ["ExperimentConfig", "artifact_root", "get_experiment_config",
+           "Experiment"]

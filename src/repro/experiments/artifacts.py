@@ -1,0 +1,54 @@
+"""Serialization helpers for cached experiment artifacts."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..eval import DetectionRecord
+from ..nn import TrainingHistory
+
+__all__ = ["save_records", "load_records", "save_histories",
+           "load_histories", "save_json", "load_json"]
+
+
+def save_json(path: Path, payload: object) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def load_json(path: Path) -> object:
+    return json.loads(path.read_text())
+
+
+def save_records(path: Path, records: list[DetectionRecord]) -> Path:
+    return save_json(path, [
+        {
+            "num_stay_points": r.num_stay_points,
+            "true_pair": list(r.true_pair),
+            "detected_pair": list(r.detected_pair),
+            "inference_time_s": r.inference_time_s,
+        }
+        for r in records
+    ])
+
+
+def load_records(path: Path) -> list[DetectionRecord]:
+    return [
+        DetectionRecord(
+            num_stay_points=int(r["num_stay_points"]),
+            true_pair=tuple(r["true_pair"]),
+            detected_pair=tuple(r["detected_pair"]),
+            inference_time_s=float(r["inference_time_s"]),
+        )
+        for r in load_json(path)
+    ]
+
+
+def save_histories(path: Path, histories: list[TrainingHistory]) -> Path:
+    return save_json(path, [h.to_dict() for h in histories])
+
+
+def load_histories(path: Path) -> list[TrainingHistory]:
+    return [TrainingHistory.from_dict(h) for h in load_json(path)]

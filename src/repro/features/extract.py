@@ -1,0 +1,95 @@
+"""Per-point feature extraction (paper §IV-A)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.poi import POI_CATEGORIES, POIDatabase
+from ..model import Trajectory
+
+__all__ = ["FEATURE_DIM", "FeatureConfig", "FeatureExtractor",
+           "subsample_indices"]
+
+#: lat + lng + t + 29 POI category counts.
+FEATURE_DIM = 3 + len(POI_CATEGORIES)
+
+
+@dataclass(frozen=True)
+class FeatureConfig:
+    """Feature extraction knobs.
+
+    ``max_segment_len`` caps the number of GPS points per stay/move
+    segment fed to the LSTMs.  The paper runs full-resolution sequences on
+    a GPU; on CPU the cap bounds the recurrent step count while keeping the
+    sequence's endpoints and overall shape (see DESIGN.md §2).
+    """
+
+    poi_radius_m: float = 100.0
+    max_segment_len: int = 16
+    #: LEAD-NoPoi ablation: zero out the 29 POI columns (the feature
+    #: dimension stays 32, matching the paper's zero-padding).
+    use_poi: bool = True
+
+    def __post_init__(self) -> None:
+        if self.poi_radius_m <= 0:
+            raise ValueError("poi_radius_m must be positive")
+        if self.max_segment_len < 2:
+            raise ValueError("max_segment_len must be >= 2")
+
+
+def subsample_indices(start: int, end: int, max_len: int) -> np.ndarray:
+    """Up to ``max_len`` evenly spaced indices over ``[start, end]``.
+
+    Both endpoints are always included (they anchor a segment to its
+    stay points); intermediate indices are unique and sorted.
+    """
+    if end < start:
+        raise ValueError("end must be >= start")
+    count = end - start + 1
+    if count <= max_len:
+        return np.arange(start, end + 1)
+    return np.unique(np.linspace(start, end, num=max_len).round()
+                     .astype(np.int64))
+
+
+class FeatureExtractor:
+    """Turn trajectory points into raw 32-dim feature vectors.
+
+    The extractor memoizes POI counts per trajectory, because the same GPS
+    points appear in many candidate trajectories of the same day.
+    """
+
+    def __init__(self, pois: POIDatabase,
+                 config: FeatureConfig | None = None) -> None:
+        self.pois = pois
+        self.config = config or FeatureConfig()
+        # The cache stores (trajectory, features): holding a reference to
+        # the trajectory keeps its id() from being reused by a new object.
+        self._cache: dict[int, tuple[Trajectory, np.ndarray]] = {}
+
+    def trajectory_features(self, trajectory: Trajectory) -> np.ndarray:
+        """Raw ``(len(trajectory), 32)`` feature matrix (memoized)."""
+        key = id(trajectory)
+        cached = self._cache.get(key)
+        if cached is not None and cached[0] is trajectory:
+            return cached[1]
+        if self.config.use_poi:
+            poi_counts = self.pois.count_categories_batch(
+                trajectory.lats, trajectory.lngs,
+                radius_m=self.config.poi_radius_m)
+        else:
+            poi_counts = np.zeros((len(trajectory), FEATURE_DIM - 3))
+        features = np.column_stack([trajectory.lats, trajectory.lngs,
+                                    trajectory.ts, poi_counts])
+        self._cache[key] = (trajectory, features)
+        return features
+
+    def point_features(self, trajectory: Trajectory,
+                       indices: np.ndarray) -> np.ndarray:
+        """Raw features of selected points, shape ``(len(indices), 32)``."""
+        return self.trajectory_features(trajectory)[np.asarray(indices)]
+
+    def clear_cache(self) -> None:
+        self._cache.clear()

@@ -1,0 +1,63 @@
+"""Z-score feature normalization (paper §IV-A, after Cheadle et al. [8])."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ZScoreNormalizer"]
+
+
+class ZScoreNormalizer:
+    """Column-wise standardization fitted on the training features.
+
+    Columns with (near-)zero variance are passed through centred but
+    unscaled, so constant features (e.g. a POI category absent from the
+    city) do not blow up.
+    """
+
+    _MIN_STD = 1e-8
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.std_: np.ndarray | None = None
+
+    @property
+    def fitted(self) -> bool:
+        return self.mean_ is not None
+
+    def fit(self, features: np.ndarray) -> "ZScoreNormalizer":
+        """Fit on an ``(n, d)`` matrix of raw feature vectors."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[0] == 0:
+            raise ValueError("fit expects a non-empty (n, d) matrix")
+        self.mean_ = features.mean(axis=0)
+        std = features.std(axis=0)
+        self.std_ = np.where(std < self._MIN_STD, 1.0, std)
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if not self.fitted:
+            raise RuntimeError("normalizer is not fitted")
+        features = np.asarray(features, dtype=np.float64)
+        return (features - self.mean_) / self.std_
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)
+
+    def inverse_transform(self, features: np.ndarray) -> np.ndarray:
+        if not self.fitted:
+            raise RuntimeError("normalizer is not fitted")
+        return np.asarray(features, dtype=np.float64) * self.std_ + self.mean_
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, list[float]]:
+        if not self.fitted:
+            raise RuntimeError("normalizer is not fitted")
+        return {"mean": self.mean_.tolist(), "std": self.std_.tolist()}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, list[float]]) -> "ZScoreNormalizer":
+        normalizer = cls()
+        normalizer.mean_ = np.asarray(payload["mean"], dtype=np.float64)
+        normalizer.std_ = np.asarray(payload["std"], dtype=np.float64)
+        return normalizer

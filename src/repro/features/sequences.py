@@ -1,0 +1,129 @@
+"""Candidate feature sequences — the f-seq of the paper (§IV-A/B).
+
+A candidate trajectory's feature sequence is segmented into alternating
+stay-point and move-point feature subsequences (sp-f-seq / mp-f-seq), which
+the hierarchical autoencoder compresses separately and hierarchically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from ..model import CandidateTrajectory, MovePoint, StayPoint
+from .extract import FeatureExtractor, subsample_indices
+from .normalize import ZScoreNormalizer
+
+__all__ = ["SegmentKind", "CandidateFeatures", "CandidateFeaturizer"]
+
+
+class SegmentKind(str, Enum):
+    STAY = "sp"
+    MOVE = "mp"
+
+
+@dataclass(frozen=True)
+class CandidateFeatures:
+    """The segmented, normalized f-seq of one candidate trajectory.
+
+    ``segments[k]`` is an ``(L_k, 32)`` float matrix; ``kinds[k]`` tells
+    whether it is a sp-f-seq or mp-f-seq.  Segments alternate
+    sp, mp, sp, ..., mp, sp.
+    """
+
+    pair: tuple[int, int]
+    segments: tuple[np.ndarray, ...]
+    kinds: tuple[SegmentKind, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.segments) != len(self.kinds):
+            raise ValueError("segments/kinds length mismatch")
+        if not self.segments:
+            raise ValueError("empty candidate features")
+        expected = [SegmentKind.STAY if i % 2 == 0 else SegmentKind.MOVE
+                    for i in range(len(self.kinds))]
+        if list(self.kinds) != expected:
+            raise ValueError("segments must alternate sp/mp starting with sp")
+        if self.kinds[-1] is not SegmentKind.STAY:
+            raise ValueError("candidate must end with a stay segment")
+
+    @property
+    def stay_segments(self) -> list[np.ndarray]:
+        """The SPs-f-seq: all stay-point feature subsequences in order."""
+        return [s for s, k in zip(self.segments, self.kinds)
+                if k is SegmentKind.STAY]
+
+    @property
+    def move_segments(self) -> list[np.ndarray]:
+        """The MPs-f-seq: all move-point feature subsequences in order."""
+        return [s for s, k in zip(self.segments, self.kinds)
+                if k is SegmentKind.MOVE]
+
+    @property
+    def num_points(self) -> int:
+        return int(sum(len(s) for s in self.segments))
+
+    def flat(self) -> np.ndarray:
+        """All feature vectors concatenated (the unsegmented f-seq)."""
+        return np.concatenate(self.segments, axis=0)
+
+
+class CandidateFeaturizer:
+    """Build :class:`CandidateFeatures` for candidates of a trajectory.
+
+    ``feature_scale`` rescales z-scored features so nearly all values fall
+    inside [-1, 1]: the decompressor's tanh output is range-limited (the
+    paper notes the tanh "matches the range of the f-seq"), and without
+    the rescale the reconstruction MSE has a high floor.
+    """
+
+    def __init__(self, extractor: FeatureExtractor,
+                 normalizer: ZScoreNormalizer,
+                 feature_scale: float = 1.0 / 3.0) -> None:
+        if feature_scale <= 0:
+            raise ValueError("feature_scale must be positive")
+        self.extractor = extractor
+        self.normalizer = normalizer
+        self.feature_scale = feature_scale
+
+    # ------------------------------------------------------------------
+    def fit_normalizer(self, trajectories) -> ZScoreNormalizer:
+        """Fit the z-score normalizer on full training trajectories."""
+        blocks = [self.extractor.trajectory_features(tr)
+                  for tr in trajectories]
+        if not blocks:
+            raise ValueError("no trajectories to fit on")
+        self.normalizer.fit(np.concatenate(blocks, axis=0))
+        return self.normalizer
+
+    # ------------------------------------------------------------------
+    def _segment_features(self, segment: StayPoint | MovePoint) -> np.ndarray:
+        indices = subsample_indices(segment.start, segment.end,
+                                    self.extractor.config.max_segment_len)
+        raw = self.extractor.point_features(segment.trajectory, indices)
+        return self.normalizer.transform(raw) * self.feature_scale
+
+    def featurize(self, candidate: CandidateTrajectory) -> CandidateFeatures:
+        """The segmented f-seq of one candidate."""
+        segments = []
+        kinds = []
+        for segment in candidate.segments():
+            segments.append(self._segment_features(segment))
+            kinds.append(SegmentKind.STAY if isinstance(segment, StayPoint)
+                         else SegmentKind.MOVE)
+        return CandidateFeatures(pair=candidate.pair,
+                                 segments=tuple(segments),
+                                 kinds=tuple(kinds))
+
+    def featurize_all(self, candidates) -> list[CandidateFeatures]:
+        return [self.featurize(c) for c in candidates]
+
+    def stay_point_features(self, stay_point: StayPoint) -> np.ndarray:
+        """Normalized feature sequence of a single stay point.
+
+        Used by the SP-GRU / SP-LSTM baselines, which classify stay points
+        in isolation.
+        """
+        return self._segment_features(stay_point)

@@ -1,0 +1,68 @@
+"""Geographic bounding boxes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BoundingBox", "NANTONG_BBOX"]
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned lat/lng rectangle."""
+
+    min_lat: float
+    min_lng: float
+    max_lat: float
+    max_lng: float
+
+    def __post_init__(self) -> None:
+        if self.min_lat >= self.max_lat or self.min_lng >= self.max_lng:
+            raise ValueError(f"degenerate bounding box: {self}")
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return ((self.min_lat + self.max_lat) / 2.0,
+                (self.min_lng + self.max_lng) / 2.0)
+
+    @property
+    def lat_span(self) -> float:
+        return self.max_lat - self.min_lat
+
+    @property
+    def lng_span(self) -> float:
+        return self.max_lng - self.min_lng
+
+    def contains(self, lat: float, lng: float) -> bool:
+        return (self.min_lat <= lat <= self.max_lat
+                and self.min_lng <= lng <= self.max_lng)
+
+    def clamp(self, lat: float, lng: float) -> tuple[float, float]:
+        """Project a point onto the box."""
+        return (float(np.clip(lat, self.min_lat, self.max_lat)),
+                float(np.clip(lng, self.min_lng, self.max_lng)))
+
+    def sample(self, rng: np.random.Generator,
+               n: int | None = None) -> np.ndarray:
+        """Uniformly sample ``n`` (lat, lng) points (one point if ``n=None``)."""
+        count = 1 if n is None else n
+        lats = rng.uniform(self.min_lat, self.max_lat, size=count)
+        lngs = rng.uniform(self.min_lng, self.max_lng, size=count)
+        points = np.column_stack([lats, lngs])
+        return points[0] if n is None else points
+
+    def shrink(self, fraction: float) -> "BoundingBox":
+        """Return a concentric box scaled by ``fraction`` on each axis."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        lat_margin = self.lat_span * (1.0 - fraction) / 2.0
+        lng_margin = self.lng_span * (1.0 - fraction) / 2.0
+        return BoundingBox(self.min_lat + lat_margin, self.min_lng + lng_margin,
+                           self.max_lat - lat_margin, self.max_lng - lng_margin)
+
+
+#: Approximate extent of Nantong, China — the city of the paper's dataset.
+NANTONG_BBOX = BoundingBox(min_lat=31.80, min_lng=120.50,
+                           max_lat=32.30, max_lng=121.20)

@@ -1,0 +1,48 @@
+"""Great-circle distance and speed computations on the WGS84 sphere."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["EARTH_RADIUS_M", "haversine_m", "pairwise_haversine_m", "speed_kmh"]
+
+EARTH_RADIUS_M = 6_371_008.8  # mean Earth radius in meters
+
+
+def haversine_m(lat1: float, lng1: float, lat2: float, lng2: float) -> float:
+    """Great-circle distance in meters between two (lat, lng) points.
+
+    Accepts scalars or numpy arrays (broadcast elementwise).
+    """
+    lat1, lng1, lat2, lng2 = map(np.radians, (lat1, lng1, lat2, lng2))
+    dlat = lat2 - lat1
+    dlng = lng2 - lng1
+    a = (np.sin(dlat / 2.0) ** 2
+         + np.cos(lat1) * np.cos(lat2) * np.sin(dlng / 2.0) ** 2)
+    result = 2.0 * EARTH_RADIUS_M * np.arcsin(np.sqrt(np.clip(a, 0.0, 1.0)))
+    if np.isscalar(result) or result.ndim == 0:
+        return float(result)
+    return result
+
+
+def pairwise_haversine_m(lats: np.ndarray, lngs: np.ndarray) -> np.ndarray:
+    """Distances between consecutive points of a polyline, shape ``(n-1,)``."""
+    lats = np.asarray(lats, dtype=np.float64)
+    lngs = np.asarray(lngs, dtype=np.float64)
+    if lats.shape != lngs.shape or lats.ndim != 1:
+        raise ValueError("lats and lngs must be equal-length 1-D arrays")
+    if lats.size < 2:
+        return np.zeros(0)
+    return haversine_m(lats[:-1], lngs[:-1], lats[1:], lngs[1:])
+
+
+def speed_kmh(distance_m: float, seconds: float) -> float:
+    """Convert a distance/duration pair into km/h.
+
+    Zero or negative durations yield ``inf`` so that the noise filter
+    (paper §III) treats timestamp glitches as outliers rather than
+    dividing by zero.
+    """
+    if seconds <= 0:
+        return float("inf")
+    return distance_m / seconds * 3.6

@@ -1,0 +1,11 @@
+"""Trajectory data model (DESIGN.md S6): the paper's Definitions 1-5."""
+
+from .trajectory import GPSPoint, Trajectory
+from .staypoint import StayPoint, MovePoint
+from .candidate import CandidateTrajectory
+from .labels import TimeInterval, LoadedLabel
+
+__all__ = [
+    "GPSPoint", "Trajectory", "StayPoint", "MovePoint",
+    "CandidateTrajectory", "TimeInterval", "LoadedLabel",
+]

@@ -1,0 +1,102 @@
+"""Candidate trajectories (paper Definition 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .staypoint import MovePoint, StayPoint
+from .trajectory import Trajectory
+
+__all__ = ["CandidateTrajectory"]
+
+
+@dataclass(frozen=True)
+class CandidateTrajectory:
+    """A subtrajectory that starts with one stay point and ends with another.
+
+    Simplified as the ordered pair ``<sp_i' --> sp_j'>`` of 1-based stay
+    point ordinals (``start_ordinal < end_ordinal``).  The candidate spans
+    every GPS point from the first point of the starting stay point to the
+    last point of the ending stay point, and decomposes into the alternating
+    sequence ``sp_i', mp_i', sp_{i'+1}, ..., mp_{j'-1}, sp_j'``.
+    """
+
+    stay_points: tuple[StayPoint, ...]
+    move_points: tuple[MovePoint, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.stay_points) < 2:
+            raise ValueError("a candidate needs at least two stay points")
+        if len(self.move_points) != len(self.stay_points) - 1:
+            raise ValueError(
+                f"{len(self.stay_points)} stay points require "
+                f"{len(self.stay_points) - 1} move points, got "
+                f"{len(self.move_points)}")
+        ordinals = [sp.ordinal for sp in self.stay_points]
+        if ordinals != list(range(ordinals[0], ordinals[0] + len(ordinals))):
+            raise ValueError(f"stay point ordinals not consecutive: {ordinals}")
+
+    # ------------------------------------------------------------------
+    @property
+    def start_ordinal(self) -> int:
+        """1-based ordinal i' of the starting stay point."""
+        return self.stay_points[0].ordinal
+
+    @property
+    def end_ordinal(self) -> int:
+        """1-based ordinal j' of the ending stay point."""
+        return self.stay_points[-1].ordinal
+
+    @property
+    def pair(self) -> tuple[int, int]:
+        """The ``(i', j')`` identifier used throughout the paper."""
+        return (self.start_ordinal, self.end_ordinal)
+
+    @property
+    def trajectory(self) -> Trajectory:
+        return self.stay_points[0].trajectory
+
+    @property
+    def start_index(self) -> int:
+        """First GPS point index of the candidate."""
+        return self.stay_points[0].start
+
+    @property
+    def end_index(self) -> int:
+        """Last GPS point index (inclusive) of the candidate."""
+        return self.stay_points[-1].end
+
+    @property
+    def num_points(self) -> int:
+        return self.end_index - self.start_index + 1
+
+    def subtrajectory(self) -> Trajectory:
+        return self.trajectory.slice(self.start_index, self.end_index + 1)
+
+    def segments(self) -> list[StayPoint | MovePoint]:
+        """The alternating sp/mp decomposition, in temporal order."""
+        out: list[StayPoint | MovePoint] = []
+        for sp, mp in zip(self.stay_points, self.move_points):
+            out.append(sp)
+            out.append(mp)
+        out.append(self.stay_points[-1])
+        return out
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def build(stay_points: Sequence[StayPoint],
+              move_points: Sequence[MovePoint],
+              start_ordinal: int, end_ordinal: int) -> "CandidateTrajectory":
+        """Build ``<sp_start --> sp_end>`` from a raw trajectory's sp/mp lists.
+
+        ``stay_points``/``move_points`` are the full extraction result for
+        a raw trajectory (ordinals 1..n and 1..n-1 respectively).
+        """
+        if not 1 <= start_ordinal < end_ordinal <= len(stay_points):
+            raise ValueError(
+                f"invalid ordinal pair ({start_ordinal}, {end_ordinal}) "
+                f"for {len(stay_points)} stay points")
+        sps = tuple(stay_points[start_ordinal - 1:end_ordinal])
+        mps = tuple(move_points[start_ordinal - 1:end_ordinal - 1])
+        return CandidateTrajectory(sps, mps)

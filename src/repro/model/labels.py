@@ -1,0 +1,121 @@
+"""Ground-truth labels for loaded trajectories (paper Definition 3).
+
+The simulator (and, in the real deployment, government annotators) marks
+*when* the truck loaded and unloaded.  Stay points are only derived later by
+the extraction algorithm, so the durable label format is a pair of time
+intervals.  After extraction, :meth:`LoadedLabel.to_ordinal_pair` maps the
+intervals onto the extracted stay points by maximal temporal overlap,
+yielding the ``(i', j')`` pair used for training and accuracy scoring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .staypoint import StayPoint
+
+__all__ = ["TimeInterval", "LoadedLabel"]
+
+
+@dataclass(frozen=True)
+class TimeInterval:
+    """A closed time interval ``[start, end]`` in unix seconds."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"interval ends before it starts: {self}")
+
+    @property
+    def duration_s(self) -> float:
+        return self.end - self.start
+
+    def overlap_s(self, other: "TimeInterval") -> float:
+        """Length of the intersection with ``other`` (0 if disjoint)."""
+        return max(0.0, min(self.end, other.end) - max(self.start, other.start))
+
+    def contains_t(self, t: float) -> bool:
+        return self.start <= t <= self.end
+
+    def to_dict(self) -> dict[str, float]:
+        return {"start": self.start, "end": self.end}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, float]) -> "TimeInterval":
+        return cls(float(payload["start"]), float(payload["end"]))
+
+
+@dataclass(frozen=True)
+class LoadedLabel:
+    """Ground truth for one raw trajectory.
+
+    ``loading`` / ``unloading`` are the time intervals of the loading and
+    unloading stays; the location fields record where they happened (used
+    by the SP-R baseline to build its white list and by the waybill
+    example).
+    """
+
+    loading: TimeInterval
+    unloading: TimeInterval
+    loading_lat: float
+    loading_lng: float
+    unloading_lat: float
+    unloading_lng: float
+
+    def __post_init__(self) -> None:
+        if self.unloading.start < self.loading.end:
+            raise ValueError("unloading must begin after loading ends")
+
+    def to_ordinal_pair(self, stay_points: Sequence[StayPoint]
+                        ) -> tuple[int, int] | None:
+        """Map the label onto extracted stay points by temporal overlap.
+
+        Returns the 1-based ``(i', j')`` ordinal pair, or ``None`` when
+        either interval overlaps no extracted stay point (the extraction
+        missed the stay; such samples are dropped from training, mirroring
+        the data-cleaning employees perform).
+        """
+        loading_idx = self._best_overlap(self.loading, stay_points)
+        unloading_idx = self._best_overlap(self.unloading, stay_points)
+        if loading_idx is None or unloading_idx is None:
+            return None
+        if loading_idx >= unloading_idx:
+            return None
+        return (loading_idx, unloading_idx)
+
+    @staticmethod
+    def _best_overlap(interval: TimeInterval,
+                      stay_points: Sequence[StayPoint]) -> int | None:
+        best_ordinal: int | None = None
+        best_overlap = 0.0
+        for sp in stay_points:
+            overlap = interval.overlap_s(
+                TimeInterval(sp.arrival_t, sp.departure_t))
+            if overlap > best_overlap:
+                best_overlap = overlap
+                best_ordinal = sp.ordinal
+        return best_ordinal
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "loading": self.loading.to_dict(),
+            "unloading": self.unloading.to_dict(),
+            "loading_lat": self.loading_lat,
+            "loading_lng": self.loading_lng,
+            "unloading_lat": self.unloading_lat,
+            "unloading_lng": self.unloading_lng,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "LoadedLabel":
+        return cls(
+            loading=TimeInterval.from_dict(payload["loading"]),
+            unloading=TimeInterval.from_dict(payload["unloading"]),
+            loading_lat=float(payload["loading_lat"]),
+            loading_lng=float(payload["loading_lng"]),
+            unloading_lat=float(payload["unloading_lat"]),
+            unloading_lng=float(payload["unloading_lng"]),
+        )

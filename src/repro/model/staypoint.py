@@ -1,0 +1,87 @@
+"""Stay points and move points (paper Definitions 2 and 5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .trajectory import Trajectory
+
+__all__ = ["StayPoint", "MovePoint"]
+
+
+@dataclass(frozen=True)
+class StayPoint:
+    """A maximal subtrajectory during which the truck stays in one region.
+
+    ``start`` / ``end`` are *inclusive* indices into the cleaned raw
+    trajectory.  The paper numbers stay points 1..n in temporal order;
+    ``ordinal`` carries that 1-based number.
+    """
+
+    trajectory: Trajectory
+    start: int
+    end: int
+    ordinal: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start <= self.end < len(self.trajectory):
+            raise ValueError(
+                f"stay point [{self.start}, {self.end}] out of range for "
+                f"trajectory of {len(self.trajectory)} points")
+        if self.ordinal < 1:
+            raise ValueError("stay point ordinals are 1-based")
+
+    @property
+    def num_points(self) -> int:
+        return self.end - self.start + 1
+
+    @property
+    def arrival_t(self) -> float:
+        return float(self.trajectory.ts[self.start])
+
+    @property
+    def departure_t(self) -> float:
+        return float(self.trajectory.ts[self.end])
+
+    @property
+    def duration_s(self) -> float:
+        return self.departure_t - self.arrival_t
+
+    @property
+    def centroid(self) -> tuple[float, float]:
+        """Mean (lat, lng) of the member points."""
+        lats = self.trajectory.lats[self.start:self.end + 1]
+        lngs = self.trajectory.lngs[self.start:self.end + 1]
+        return float(lats.mean()), float(lngs.mean())
+
+    def subtrajectory(self) -> Trajectory:
+        return self.trajectory.slice(self.start, self.end + 1)
+
+
+@dataclass(frozen=True)
+class MovePoint:
+    """The subtrajectory connecting two consecutive stay points.
+
+    Our move points *include* the last point of the preceding stay point
+    and the first point of the following one, so that a move segment is
+    never empty even when the GPS sampling skipped the transit entirely.
+    ``ordinal`` is the ordinal of the preceding stay point (mp_i connects
+    sp_i and sp_{i+1}).
+    """
+
+    trajectory: Trajectory
+    start: int
+    end: int
+    ordinal: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start <= self.end < len(self.trajectory):
+            raise ValueError(
+                f"move point [{self.start}, {self.end}] out of range")
+
+    @property
+    def num_points(self) -> int:
+        return self.end - self.start + 1
+
+    def subtrajectory(self) -> Trajectory:
+        return self.trajectory.slice(self.start, self.end + 1)

@@ -1,0 +1,30 @@
+"""Neural substrate: numpy autograd, layers, RNNs, losses, optimizers.
+
+The paper trains its models with a mainstream deep-learning framework; this
+package is a from-scratch replacement providing exactly the pieces LEAD
+needs (see DESIGN.md S1-S4).
+"""
+
+from .attention import SelfAttentionAggregator, masked_softmax
+from .init import orthogonal, xavier_uniform
+from .layers import Linear, Sequential
+from .losses import bce_loss, kld_loss, mse_loss
+from .module import Module, Parameter
+from .optim import SGD, Adam, Optimizer, clip_grad_norm
+from .rnn import (BiLSTMLayer, GRU, GRUCell, LSTM, LSTMCell, LSTMDecoder,
+                  StackedBiLSTM, sequence_mask)
+from .serialization import load_module, save_module
+from .tensor import Tensor, concat, is_grad_enabled, no_grad, stack
+from .training import EarlyStopping, GradientAccumulator, TrainingHistory
+
+__all__ = [
+    "Tensor", "concat", "stack", "no_grad", "is_grad_enabled",
+    "Module", "Parameter", "Linear", "Sequential",
+    "LSTMCell", "GRUCell", "LSTM", "GRU", "BiLSTMLayer", "StackedBiLSTM",
+    "LSTMDecoder", "sequence_mask",
+    "SelfAttentionAggregator", "masked_softmax",
+    "mse_loss", "kld_loss", "bce_loss",
+    "Optimizer", "SGD", "Adam", "clip_grad_norm",
+    "EarlyStopping", "GradientAccumulator", "TrainingHistory",
+    "save_module", "load_module", "xavier_uniform", "orthogonal",
+]

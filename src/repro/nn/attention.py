@@ -1,0 +1,68 @@
+"""Self-attention aggregation used by the compression operators.
+
+The paper (Eqs. 3-4) aggregates the hidden states of an LSTM into a single
+vector: the query is the last hidden state, the keys are projections of all
+hidden states, and the values are the raw hidden states themselves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Linear
+from .module import Module
+from .tensor import Tensor
+
+__all__ = ["SelfAttentionAggregator", "masked_softmax"]
+
+_NEG_INF = -1e9
+
+
+def masked_softmax(scores: Tensor, mask: np.ndarray | None, axis: int = -1
+                   ) -> Tensor:
+    """Softmax that assigns zero probability to masked-out positions.
+
+    ``mask`` contains 1.0 at valid positions; invalid positions receive a
+    large negative additive bias before the softmax.
+    """
+    if mask is not None:
+        scores = scores + (1.0 - mask) * _NEG_INF
+    return scores.softmax(axis=axis)
+
+
+class SelfAttentionAggregator(Module):
+    """Aggregate an LSTM output sequence into one vector (paper Eqs. 3-4).
+
+    Given hidden states ``H`` of shape ``(B, T, H)`` and the last hidden
+    state ``h_last`` of shape ``(B, H)``:
+
+    * ``q = h_last @ Wq + bq``
+    * ``K = H @ Wk + bk``
+    * ``s = softmax(q . K / sqrt(d_k))`` over valid timesteps
+    * result ``= sum_t s_t * H_t``
+    """
+
+    def __init__(self, hidden_size: int,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.hidden_size = hidden_size
+        self.query = Linear(hidden_size, hidden_size, rng)
+        self.key = Linear(hidden_size, hidden_size, rng)
+        self._scale = 1.0 / np.sqrt(hidden_size)
+
+    def forward(self, outputs: Tensor, last_hidden: Tensor,
+                lengths: np.ndarray | None = None) -> Tensor:
+        batch, steps, hidden = outputs.shape
+        if hidden != self.hidden_size:
+            raise ValueError(
+                f"expected hidden size {self.hidden_size}, got {hidden}")
+        q = self.query(last_hidden)                      # (B, H)
+        k = self.key(outputs)                            # (B, T, H)
+        scores = (k * q.reshape(batch, 1, hidden)).sum(axis=2) * self._scale
+        mask = None
+        if lengths is not None:
+            from .rnn import sequence_mask
+            mask = sequence_mask(lengths, steps)
+        weights = masked_softmax(scores, mask, axis=1)   # (B, T)
+        return (outputs * weights.reshape(batch, steps, 1)).sum(axis=1)

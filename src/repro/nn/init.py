@@ -1,0 +1,33 @@
+"""Weight initialization schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "orthogonal", "zeros"]
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialization.
+
+    Keeps activation variance roughly constant across layers, which matters
+    for the tanh-heavy LSTM stacks used throughout LEAD.
+    """
+    fan_in, fan_out = shape[0], shape[-1]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def orthogonal(shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+    """Orthogonal initialization, the standard choice for recurrent weights."""
+    rows, cols = shape
+    a = rng.standard_normal((max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(a)
+    q *= np.sign(np.diag(r))  # make the decomposition unique
+    if rows < cols:
+        q = q.T
+    return q[:rows, :cols]
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape)

@@ -1,0 +1,124 @@
+"""Module and parameter abstractions for the numpy neural substrate."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a learnable parameter of a module."""
+
+    def __init__(self, data: np.ndarray) -> None:
+        super().__init__(data, requires_grad=True)
+        # Parameters must stay trainable even when constructed inside a
+        # ``no_grad`` block (e.g. when loading a model for fine-tuning).
+        self.requires_grad = True
+
+
+class Module:
+    """Base class for neural network components.
+
+    Submodules and parameters assigned as attributes are discovered
+    automatically, mirroring the ergonomics of mainstream frameworks:
+
+    >>> class Tiny(Module):
+    ...     def __init__(self):
+    ...         super().__init__()
+    ...         self.linear = Linear(4, 2)
+    """
+
+    def __init__(self) -> None:
+        self._training = True
+
+    # ------------------------------------------------------------------
+    # Parameter discovery
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs, depth-first."""
+        for name, value in vars(self).items():
+            full = f"{prefix}{name}"
+            if isinstance(value, Parameter):
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{full}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Parameter):
+                        yield f"{full}.{i}", item
+                    elif isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{full}.{i}.")
+
+    def parameters(self) -> list[Parameter]:
+        """Return all learnable parameters of this module tree."""
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total number of scalar learnable values."""
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients on every parameter."""
+        for p in self.parameters():
+            p.grad = None
+
+    # ------------------------------------------------------------------
+    # Train / eval mode
+    # ------------------------------------------------------------------
+    def train(self) -> "Module":
+        self._apply_mode(True)
+        return self
+
+    def eval(self) -> "Module":
+        self._apply_mode(False)
+        return self
+
+    @property
+    def training(self) -> bool:
+        return self._training
+
+    def _apply_mode(self, training: bool) -> None:
+        self._training = training
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                value._apply_mode(training)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item._apply_mode(training)
+
+    # ------------------------------------------------------------------
+    # State dict
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Return a name → array snapshot of all parameters."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter values; names and shapes must match exactly."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}")
+        for name, parameter in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != parameter.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{value.shape} vs {parameter.data.shape}")
+            parameter.data = value.copy()
+
+    # ------------------------------------------------------------------
+    def __call__(self, *args: object, **kwargs: object) -> object:
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args: object, **kwargs: object) -> object:
+        raise NotImplementedError

@@ -1,0 +1,31 @@
+"""Padding utilities for variable-length sequence batches."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["pad_sequences"]
+
+
+def pad_sequences(sequences: Sequence[np.ndarray]
+                  ) -> tuple[np.ndarray, np.ndarray]:
+    """Right-pad 2-D arrays to a common length.
+
+    Given ``k`` arrays of shape ``(L_i, F)``, returns a ``(k, max L, F)``
+    batch (zero padded) and the ``(k,)`` integer length vector.
+    """
+    sequences = [np.asarray(s, dtype=np.float64) for s in sequences]
+    if not sequences:
+        raise ValueError("pad_sequences needs at least one sequence")
+    feature_dim = sequences[0].shape[1]
+    if any(s.ndim != 2 or s.shape[1] != feature_dim for s in sequences):
+        raise ValueError("all sequences must be (L_i, F) with equal F")
+    lengths = np.array([len(s) for s in sequences], dtype=np.int64)
+    if (lengths == 0).any():
+        raise ValueError("empty sequences cannot be padded")
+    batch = np.zeros((len(sequences), int(lengths.max()), feature_dim))
+    for i, s in enumerate(sequences):
+        batch[i, :len(s)] = s
+    return batch, lengths

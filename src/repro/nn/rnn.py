@@ -1,0 +1,234 @@
+"""Recurrent layers: LSTM, GRU, bidirectional and stacked variants.
+
+All recurrent layers operate on right-padded batches ``(B, T, F)`` with an
+optional ``lengths`` vector.  Padding is handled with *freeze masking*: at a
+padded step the hidden state is carried through unchanged, so the hidden
+state after the loop equals the state at each sequence's true last step.
+The same trick makes the reversed direction of a BiLSTM correct without any
+explicit sequence reversal: iterating from the right, the state stays at its
+initial value until the first valid (rightmost) element is reached.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .init import orthogonal, xavier_uniform
+from .layers import Linear
+from .module import Module, Parameter
+from .tensor import Tensor, concat, stack
+
+__all__ = [
+    "LSTMCell", "GRUCell", "LSTM", "GRU", "BiLSTMLayer", "StackedBiLSTM",
+    "LSTMDecoder", "sequence_mask",
+]
+
+
+def sequence_mask(lengths: np.ndarray, max_len: int) -> np.ndarray:
+    """Return a ``(B, T)`` float mask with 1.0 at valid positions."""
+    lengths = np.asarray(lengths)
+    return (np.arange(max_len)[None, :] < lengths[:, None]).astype(np.float64)
+
+
+class LSTMCell(Module):
+    """A single LSTM step (Hochreiter & Schmidhuber, 1997).
+
+    Gate layout along the last axis of the fused weight matrices is
+    ``[input, forget, cell, output]``.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_ih = Parameter(xavier_uniform((input_size, 4 * hidden_size), rng))
+        self.w_hh = Parameter(np.concatenate(
+            [orthogonal((hidden_size, hidden_size), rng) for _ in range(4)],
+            axis=1))
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size:2 * hidden_size] = 1.0  # forget-gate bias trick
+        self.bias = Parameter(bias)
+
+    def forward(self, x: Tensor, h: Tensor, c: Tensor,
+                mask: np.ndarray | None = None) -> tuple[Tensor, Tensor]:
+        n = self.hidden_size
+        gates = x @ self.w_ih + h @ self.w_hh + self.bias
+        i = gates[:, 0 * n:1 * n].sigmoid()
+        f = gates[:, 1 * n:2 * n].sigmoid()
+        g = gates[:, 2 * n:3 * n].tanh()
+        o = gates[:, 3 * n:4 * n].sigmoid()
+        c_new = f * c + i * g
+        h_new = o * c_new.tanh()
+        if mask is not None:
+            keep = mask.reshape(-1, 1)
+            h_new = h_new * keep + h * (1.0 - keep)
+            c_new = c_new * keep + c * (1.0 - keep)
+        return h_new, c_new
+
+
+class GRUCell(Module):
+    """A single GRU step (Cho et al., 2014).
+
+    Gate layout is ``[reset, update, new]``.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_ih = Parameter(xavier_uniform((input_size, 3 * hidden_size), rng))
+        self.w_hh = Parameter(np.concatenate(
+            [orthogonal((hidden_size, hidden_size), rng) for _ in range(3)],
+            axis=1))
+        self.b_ih = Parameter(np.zeros(3 * hidden_size))
+        self.b_hh = Parameter(np.zeros(3 * hidden_size))
+
+    def forward(self, x: Tensor, h: Tensor,
+                mask: np.ndarray | None = None) -> Tensor:
+        n = self.hidden_size
+        gi = x @ self.w_ih + self.b_ih
+        gh = h @ self.w_hh + self.b_hh
+        r = (gi[:, 0 * n:1 * n] + gh[:, 0 * n:1 * n]).sigmoid()
+        z = (gi[:, 1 * n:2 * n] + gh[:, 1 * n:2 * n]).sigmoid()
+        candidate = (gi[:, 2 * n:3 * n] + r * gh[:, 2 * n:3 * n]).tanh()
+        h_new = (1.0 - z) * candidate + z * h
+        if mask is not None:
+            keep = mask.reshape(-1, 1)
+            h_new = h_new * keep + h * (1.0 - keep)
+        return h_new
+
+
+class _Recurrent(Module):
+    """Shared driver for unidirectional recurrent layers."""
+
+    def __init__(self, hidden_size: int, reverse: bool) -> None:
+        super().__init__()
+        self.hidden_size = hidden_size
+        self.reverse = reverse
+
+    def _zero_state(self, batch: int) -> Tensor:
+        return Tensor(np.zeros((batch, self.hidden_size)))
+
+    def _time_order(self, steps: int) -> range:
+        return range(steps - 1, -1, -1) if self.reverse else range(steps)
+
+
+class LSTM(_Recurrent):
+    """LSTM over a padded batch.
+
+    Returns ``(outputs, (h_last, c_last))`` where ``outputs`` is
+    ``(B, T, H)`` and ``h_last`` is the hidden state at each sequence's last
+    valid step (first valid step when ``reverse=True``).
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator | None = None,
+                 reverse: bool = False) -> None:
+        super().__init__(hidden_size, reverse)
+        self.cell = LSTMCell(input_size, hidden_size, rng)
+
+    def forward(self, x: Tensor, lengths: np.ndarray | None = None
+                ) -> tuple[Tensor, tuple[Tensor, Tensor]]:
+        batch, steps, _ = x.shape
+        mask = None if lengths is None else sequence_mask(lengths, steps)
+        h = self._zero_state(batch)
+        c = self._zero_state(batch)
+        outputs: list[Tensor] = [None] * steps  # type: ignore[list-item]
+        for t in self._time_order(steps):
+            step_mask = None if mask is None else mask[:, t]
+            h, c = self.cell(x[:, t, :], h, c, mask=step_mask)
+            outputs[t] = h
+        return stack(outputs, axis=1), (h, c)
+
+
+class GRU(_Recurrent):
+    """GRU over a padded batch; same contract as :class:`LSTM`."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator | None = None,
+                 reverse: bool = False) -> None:
+        super().__init__(hidden_size, reverse)
+        self.cell = GRUCell(input_size, hidden_size, rng)
+
+    def forward(self, x: Tensor, lengths: np.ndarray | None = None
+                ) -> tuple[Tensor, Tensor]:
+        batch, steps, _ = x.shape
+        mask = None if lengths is None else sequence_mask(lengths, steps)
+        h = self._zero_state(batch)
+        outputs: list[Tensor] = [None] * steps  # type: ignore[list-item]
+        for t in self._time_order(steps):
+            step_mask = None if mask is None else mask[:, t]
+            h = self.cell(x[:, t, :], h, mask=step_mask)
+            outputs[t] = h
+        return stack(outputs, axis=1), h
+
+
+class BiLSTMLayer(Module):
+    """One bidirectional LSTM layer with the paper's output projection.
+
+    Following Eq. (9) of the paper, the forward and reversed hidden
+    sequences are concatenated and projected back to ``hidden_size`` so
+    that layers can be stacked.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.forward_lstm = LSTM(input_size, hidden_size, rng, reverse=False)
+        self.backward_lstm = LSTM(input_size, hidden_size, rng, reverse=True)
+        self.projection = Linear(2 * hidden_size, hidden_size, rng)
+
+    def forward(self, x: Tensor, lengths: np.ndarray | None = None) -> Tensor:
+        fwd, _ = self.forward_lstm(x, lengths)
+        bwd, _ = self.backward_lstm(x, lengths)
+        return self.projection(concat([fwd, bwd], axis=2))
+
+
+class StackedBiLSTM(Module):
+    """A stack of :class:`BiLSTMLayer` (the paper's detector backbone)."""
+
+    def __init__(self, input_size: int, hidden_size: int, num_layers: int,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        rng = rng or np.random.default_rng()
+        sizes = [input_size] + [hidden_size] * (num_layers - 1)
+        self.layers = [BiLSTMLayer(s, hidden_size, rng) for s in sizes]
+
+    def forward(self, x: Tensor, lengths: np.ndarray | None = None) -> Tensor:
+        for layer in self.layers:
+            x = layer(x, lengths)
+        return x
+
+
+class LSTMDecoder(Module):
+    """LSTM that expands a single vector into a sequence (paper Eq. 5).
+
+    The compressed vector is fed as the input at *every* step, and the
+    hidden state sequence is the reconstruction scaffold.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.cell = LSTMCell(input_size, hidden_size, rng)
+        self.hidden_size = hidden_size
+
+    def forward(self, v: Tensor, steps: int,
+                lengths: np.ndarray | None = None) -> Tensor:
+        batch = v.shape[0]
+        mask = None if lengths is None else sequence_mask(lengths, steps)
+        h = Tensor(np.zeros((batch, self.hidden_size)))
+        c = Tensor(np.zeros((batch, self.hidden_size)))
+        outputs: list[Tensor] = []
+        for t in range(steps):
+            step_mask = None if mask is None else mask[:, t]
+            h, c = self.cell(v, h, c, mask=step_mask)
+            outputs.append(h)
+        return stack(outputs, axis=1)

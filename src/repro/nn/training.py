@@ -1,0 +1,118 @@
+"""Training utilities: early stopping, gradient accumulation, histories.
+
+The paper trains with batch size 1 (inputs have irregular shapes) but
+back-propagates the *average* loss of ``B = 64`` consecutive samples to
+emulate mini-batch training (§VI-A).  :class:`GradientAccumulator`
+implements exactly that protocol on top of any optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .optim import Optimizer, clip_grad_norm
+from .tensor import Tensor
+
+__all__ = ["EarlyStopping", "GradientAccumulator", "TrainingHistory"]
+
+
+class EarlyStopping:
+    """Stop training when a monitored loss stops improving (§VI-A, [18])."""
+
+    def __init__(self, patience: int = 3, min_delta: float = 0.0) -> None:
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.patience = patience
+        self.min_delta = float(min_delta)
+        self.best: float | None = None
+        self.best_epoch: int | None = None
+        self._bad_epochs = 0
+        self._epoch = -1
+
+    def update(self, loss: float) -> bool:
+        """Record an epoch loss; return True when training should stop."""
+        self._epoch += 1
+        if self.best is None or loss < self.best - self.min_delta:
+            self.best = loss
+            self.best_epoch = self._epoch
+            self._bad_epochs = 0
+        else:
+            self._bad_epochs += 1
+        return self._bad_epochs >= self.patience
+
+
+class GradientAccumulator:
+    """Accumulate per-sample gradients and step every ``accumulate`` samples.
+
+    Each sample's loss is scaled by ``1/accumulate`` before ``backward`` so
+    the applied update equals the gradient of the average loss over the
+    window, matching the paper's simulated batch training.
+    """
+
+    def __init__(self, optimizer: Optimizer, accumulate: int = 64,
+                 max_grad_norm: float | None = 5.0) -> None:
+        if accumulate < 1:
+            raise ValueError("accumulate must be >= 1")
+        self.optimizer = optimizer
+        self.accumulate = accumulate
+        self.max_grad_norm = max_grad_norm
+        self._pending = 0
+
+    def backward(self, loss: Tensor) -> None:
+        """Backpropagate one sample's loss and step when the window fills."""
+        (loss * (1.0 / self.accumulate)).backward()
+        self._pending += 1
+        if self._pending >= self.accumulate:
+            self._apply()
+
+    def flush(self) -> None:
+        """Apply any leftover gradients (end of an epoch)."""
+        if self._pending:
+            self._apply()
+
+    def _apply(self) -> None:
+        if self.max_grad_norm is not None:
+            clip_grad_norm(self.optimizer.parameters, self.max_grad_norm)
+        self.optimizer.step()
+        self.optimizer.zero_grad()
+        self._pending = 0
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss record, used to regenerate the paper's Figs. 9-10."""
+
+    name: str
+    epoch_losses: list[float] = field(default_factory=list)
+
+    def record(self, loss: float) -> None:
+        self.epoch_losses.append(float(loss))
+
+    @property
+    def num_epochs(self) -> int:
+        return len(self.epoch_losses)
+
+    @property
+    def final_loss(self) -> float:
+        if not self.epoch_losses:
+            raise ValueError("no epochs recorded")
+        return self.epoch_losses[-1]
+
+    @property
+    def best_loss(self) -> float:
+        if not self.epoch_losses:
+            raise ValueError("no epochs recorded")
+        return min(self.epoch_losses)
+
+    @property
+    def best_epoch(self) -> int:
+        return int(min(range(len(self.epoch_losses)),
+                       key=self.epoch_losses.__getitem__))
+
+    def to_dict(self) -> dict[str, object]:
+        return {"name": self.name, "epoch_losses": list(self.epoch_losses)}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "TrainingHistory":
+        return cls(name=str(payload["name"]),
+                   epoch_losses=[float(x) for x in payload["epoch_losses"]])

@@ -1,0 +1,97 @@
+"""Configuration of the full LEAD pipeline and its ablation variants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..detection import DetectorTrainingConfig
+from ..encoding import AutoencoderTrainingConfig, EncoderConfig
+from ..features import FeatureConfig
+from ..processing import (CandidateGenerator, NoiseFilter,
+                          RawTrajectoryProcessor, StayPointExtractor)
+
+__all__ = ["LEADConfig", "VARIANT_NAMES", "variant_config"]
+
+#: The framework plus the six ablations evaluated in the paper's Table IV.
+VARIANT_NAMES: tuple[str, ...] = (
+    "LEAD", "LEAD-NoPoi", "LEAD-NoSel", "LEAD-NoHie", "LEAD-NoGro",
+    "LEAD-NoFor", "LEAD-NoBac",
+)
+
+
+@dataclass
+class LEADConfig:
+    """All knobs of the LEAD framework (paper §VI-A defaults).
+
+    Ablation switches:
+
+    * ``feature.use_poi = False``      -> LEAD-NoPoi
+    * ``encoder.use_attention = False`` -> LEAD-NoSel
+    * ``encoder.hierarchical = False``  -> LEAD-NoHie
+    * ``use_grouping = False``          -> LEAD-NoGro (MLP detector)
+    * ``use_forward = False``           -> LEAD-NoFor
+    * ``use_backward = False``          -> LEAD-NoBac
+    """
+
+    feature: FeatureConfig = field(default_factory=FeatureConfig)
+    encoder: EncoderConfig = field(default_factory=EncoderConfig)
+    encoder_training: AutoencoderTrainingConfig = field(
+        default_factory=AutoencoderTrainingConfig)
+    detector_training: DetectorTrainingConfig = field(
+        default_factory=DetectorTrainingConfig)
+    detector_hidden: int = 64
+    #: Number of stacked BiLSTM layers.  The paper tunes L on its
+    #: validation set and lands at 4 for its data scale; tuned the same
+    #: way at this repository's CPU scale, L = 1 wins (deeper stacks do
+    #: not train on hundreds of trajectories).
+    detector_layers: int = 1
+    #: Literal per-subgroup softmax (Eq. 10) instead of the flat per-
+    #: trajectory normalization; see GroupDetector.subgroup_softmax.
+    subgroup_softmax: bool = False
+    use_grouping: bool = True
+    use_forward: bool = True
+    use_backward: bool = True
+    #: After the paper's self-supervised pretraining, keep backpropagating
+    #: the detector losses through the compressor (see detection.joint for
+    #: why this CPU-scale deviation is needed and what it preserves).
+    finetune_encoder: bool = True
+    max_speed_kmh: float = 130.0      # Vmax
+    stay_max_distance_m: float = 500.0   # Dmax
+    stay_min_duration_s: float = 15.0 * 60.0  # Tmin
+    max_autoencoder_samples: int | None = 3000
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not (self.use_forward or self.use_backward):
+            raise ValueError("at least one detector direction is required")
+        if self.detector_layers < 1 or self.detector_hidden < 1:
+            raise ValueError("invalid detector size")
+
+    def build_processor(self) -> RawTrajectoryProcessor:
+        return RawTrajectoryProcessor(
+            noise_filter=NoiseFilter(self.max_speed_kmh),
+            extractor=StayPointExtractor(self.stay_max_distance_m,
+                                         self.stay_min_duration_s),
+            generator=CandidateGenerator())
+
+
+def variant_config(name: str, base: LEADConfig | None = None) -> LEADConfig:
+    """The configuration of a named paper variant."""
+    base = base or LEADConfig()
+    if name == "LEAD":
+        return base
+    if name == "LEAD-NoPoi":
+        return replace(base, feature=replace(base.feature, use_poi=False))
+    if name == "LEAD-NoSel":
+        return replace(base, encoder=replace(base.encoder,
+                                             use_attention=False))
+    if name == "LEAD-NoHie":
+        return replace(base, encoder=replace(base.encoder,
+                                             hierarchical=False))
+    if name == "LEAD-NoGro":
+        return replace(base, use_grouping=False)
+    if name == "LEAD-NoFor":
+        return replace(base, use_forward=False)
+    if name == "LEAD-NoBac":
+        return replace(base, use_backward=False)
+    raise ValueError(f"unknown variant {name!r}; choose from {VARIANT_NAMES}")

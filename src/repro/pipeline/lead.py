@@ -1,0 +1,291 @@
+"""The LEAD framework facade (paper Fig. 2): offline fit, online detect.
+
+Offline stage:
+
+1. process historical raw trajectories (noise filtering, stay point
+   extraction, candidate generation);
+2. fit the z-score normalizer and train the hierarchical autoencoder on
+   the shuffled f-seqs of all candidates (self-supervised);
+3. encode every trajectory's candidates with the trained compressor and
+   train the forward/backward detectors on the smoothed labels.
+
+Online stage: a single forward computation per component detects the
+loaded trajectory of an unseen raw trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..data.poi import POIDatabase
+from ..data.dataset import LabeledSample
+from ..detection import (GroupDetector, IndependentDetector,
+                         JointDetectorTrainer, TrajectorySpec,
+                         build_backward_group, build_forward_group,
+                         index_to_pair, merge_distributions, pair_to_index)
+from ..encoding import (AutoencoderTrainer, HierarchicalAutoencoder)
+from ..features import (CandidateFeaturizer, FeatureExtractor,
+                        ZScoreNormalizer)
+from ..model import Trajectory
+from ..nn import Tensor, TrainingHistory, load_module, no_grad, save_module
+from ..processing import ProcessedTrajectory
+from .config import LEADConfig
+
+__all__ = ["LEAD", "DetectionResult", "FitReport"]
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """The outcome of detecting one raw trajectory."""
+
+    pair: tuple[int, int]               # detected (i', j')
+    distribution: np.ndarray            # merged probabilities, enum order
+    processed: ProcessedTrajectory
+
+    @property
+    def candidate(self):
+        """The detected loaded trajectory as a CandidateTrajectory."""
+        return self.processed.candidates[
+            self.processed.candidate_index(self.pair)]
+
+
+@dataclass
+class FitReport:
+    """Training record of one offline stage (feeds Figs. 9 and 10)."""
+
+    autoencoder_history: TrainingHistory
+    detector_histories: list[TrainingHistory] = field(default_factory=list)
+    num_trajectories_used: int = 0
+    num_autoencoder_samples: int = 0
+
+
+class LEAD:
+    """LoadEd trAjectory Detection framework."""
+
+    def __init__(self, pois: POIDatabase,
+                 config: LEADConfig | None = None) -> None:
+        self.config = config or LEADConfig()
+        cfg = self.config
+        self.processor = cfg.build_processor()
+        self.extractor = FeatureExtractor(pois, cfg.feature)
+        self.featurizer = CandidateFeaturizer(self.extractor,
+                                              ZScoreNormalizer())
+        self.autoencoder = HierarchicalAutoencoder(cfg.encoder)
+        rng = np.random.default_rng(cfg.seed)
+        cvec_dim = cfg.encoder.cvec_dim
+        if cfg.use_grouping:
+            self.forward_detector = GroupDetector(
+                cvec_dim, cfg.detector_hidden, cfg.detector_layers, rng,
+                subgroup_softmax=cfg.subgroup_softmax) \
+                if cfg.use_forward else None
+            self.backward_detector = GroupDetector(
+                cvec_dim, cfg.detector_hidden, cfg.detector_layers, rng,
+                subgroup_softmax=cfg.subgroup_softmax) \
+                if cfg.use_backward else None
+            self.independent_detector = None
+        else:
+            self.forward_detector = None
+            self.backward_detector = None
+            self.independent_detector = IndependentDetector(cvec_dim, rng)
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # Offline stage
+    # ------------------------------------------------------------------
+    def fit(self, training: list[LabeledSample],
+            verbose: bool = False) -> FitReport:
+        """Run the full offline stage on labelled raw trajectories."""
+        processed = self._process_training(training)
+        if not processed:
+            raise ValueError("no usable training trajectories")
+        self.featurizer.fit_normalizer([p.cleaned for p, _ in processed])
+        report = FitReport(
+            autoencoder_history=self._fit_autoencoder(processed, verbose),
+            num_trajectories_used=len(processed))
+        detector_specs = self._build_detector_specs(processed)
+        report.detector_histories = self._fit_detectors(detector_specs,
+                                                        verbose)
+        self._fitted = True
+        return report
+
+    def fit_detectors_only(self, training: list[LabeledSample],
+                           verbose: bool = False) -> FitReport:
+        """Train only the detection component.
+
+        Requires the normalizer and autoencoder weights to be in place
+        already (loaded from another variant's artifacts).  Used to build
+        LEAD-NoGro cheaply: it shares LEAD's encoding verbatim, only the
+        detector differs.
+        """
+        if not self.featurizer.normalizer.fitted:
+            raise RuntimeError("normalizer must be fitted/loaded first")
+        processed = self._process_training(training)
+        if not processed:
+            raise ValueError("no usable training trajectories")
+        specs = self._build_detector_specs(processed)
+        report = FitReport(
+            autoencoder_history=TrainingHistory(name="(reused)"),
+            num_trajectories_used=len(processed))
+        report.detector_histories = self._fit_detectors(specs, verbose)
+        self._fitted = True
+        return report
+
+    def _process_training(self, training: list[LabeledSample]
+                          ) -> list[tuple[ProcessedTrajectory,
+                                          tuple[int, int]]]:
+        out = []
+        for sample in training:
+            processed = self.processor.process(sample.trajectory,
+                                               sample.label)
+            if processed is None or processed.label_pair is None:
+                continue  # unusable day, as in the paper's data cleaning
+            out.append((processed, processed.label_pair))
+        return out
+
+    def _fit_autoencoder(self, processed, verbose: bool) -> TrainingHistory:
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        features = []
+        for trajectory, _ in processed:
+            features.extend(self.featurizer.featurize_all(
+                trajectory.candidates))
+        rng.shuffle(features)
+        if cfg.max_autoencoder_samples is not None:
+            features = features[:cfg.max_autoencoder_samples]
+        trainer = AutoencoderTrainer(self.autoencoder, cfg.encoder_training)
+        history = trainer.fit(features, verbose=verbose)
+        self._last_report_samples = len(features)
+        return history
+
+    def _segments(self, processed: ProcessedTrajectory
+                  ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        stay = [self.featurizer._segment_features(sp)
+                for sp in processed.stay_points]
+        move = [self.featurizer._segment_features(mp)
+                for mp in processed.move_points]
+        return stay, move
+
+    def encode_candidates(self, processed: ProcessedTrajectory) -> np.ndarray:
+        """c-vecs of all candidates in enumeration order, shape (N, 64)."""
+        stay, move = self._segments(processed)
+        pairs = [c.pair for c in processed.candidates]
+        return self.autoencoder.encode_trajectory(stay, move, pairs)
+
+    def _build_detector_specs(self, processed) -> list[TrajectorySpec]:
+        specs = []
+        for trajectory, pair in processed:
+            stay, move = self._segments(trajectory)
+            specs.append(TrajectorySpec(
+                stay_segments=stay, move_segments=move,
+                pairs=[c.pair for c in trajectory.candidates],
+                num_stay_points=trajectory.num_stay_points,
+                target_index=pair_to_index(trajectory.num_stay_points,
+                                           pair)))
+        return specs
+
+    def _fit_detectors(self, specs: list[TrajectorySpec],
+                       verbose: bool) -> list[TrainingHistory]:
+        cfg = self.config
+        trainer = JointDetectorTrainer(
+            self.autoencoder, self.forward_detector, self.backward_detector,
+            self.independent_detector, cfg.detector_training,
+            finetune_encoder=cfg.finetune_encoder)
+        return trainer.fit(specs, verbose=verbose)
+
+    # ------------------------------------------------------------------
+    # Online stage
+    # ------------------------------------------------------------------
+    def predict_distribution(self, processed: ProcessedTrajectory,
+                             direction: str = "both") -> np.ndarray:
+        """Merged probability distribution over candidates (Eq. 13).
+
+        ``direction`` restricts inference to one detector ("forward" /
+        "backward"), realizing LEAD-NoBac / LEAD-NoFor: the detectors are
+        trained separately (paper §V-B), so dropping one at inference is
+        exactly the paper's ablation.
+        """
+        self._require_fitted()
+        cvecs = self.encode_candidates(processed)
+        n = processed.num_stay_points
+        with no_grad():
+            if self.independent_detector is not None:
+                probs = self.independent_detector(Tensor(cvecs)).numpy()
+                return merge_distributions(probs)
+            forward = backward = None
+            if self.forward_detector is not None and direction in (
+                    "both", "forward"):
+                forward = self.forward_detector(
+                    build_forward_group(cvecs, n)).numpy()
+            if self.backward_detector is not None and direction in (
+                    "both", "backward"):
+                backward = self.backward_detector(
+                    build_backward_group(cvecs, n)).numpy()
+        if forward is None and backward is None:
+            raise ValueError(
+                f"direction {direction!r} selects no available detector")
+        if forward is None:
+            return merge_distributions(backward)
+        return merge_distributions(forward, backward)
+
+    def detect_processed(self, processed: ProcessedTrajectory,
+                         direction: str = "both") -> DetectionResult:
+        distribution = self.predict_distribution(processed, direction)
+        pair = index_to_pair(processed.num_stay_points,
+                             int(np.argmax(distribution)))
+        return DetectionResult(pair, distribution, processed)
+
+    def detect(self, trajectory: Trajectory) -> DetectionResult | None:
+        """Full online pipeline on a raw trajectory.
+
+        Returns ``None`` when too few stay points were extracted for any
+        candidate to exist.
+        """
+        processed = self.processor.process(trajectory)
+        if processed is None:
+            return None
+        return self.detect_processed(processed)
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError("LEAD is not fitted; call fit() first")
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, directory: str | Path) -> Path:
+        """Persist trained weights and the normalizer."""
+        self._require_fitted()
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        save_module(self.autoencoder, directory / "autoencoder.npz")
+        if self.forward_detector is not None:
+            save_module(self.forward_detector, directory / "forward.npz")
+        if self.backward_detector is not None:
+            save_module(self.backward_detector, directory / "backward.npz")
+        if self.independent_detector is not None:
+            save_module(self.independent_detector,
+                        directory / "independent.npz")
+        payload = {"normalizer": self.featurizer.normalizer.to_dict()}
+        (directory / "state.json").write_text(json.dumps(payload))
+        return directory
+
+    def load(self, directory: str | Path) -> "LEAD":
+        """Load weights saved by :meth:`save` (config must match)."""
+        directory = Path(directory)
+        load_module(self.autoencoder, directory / "autoencoder.npz")
+        if self.forward_detector is not None:
+            load_module(self.forward_detector, directory / "forward.npz")
+        if self.backward_detector is not None:
+            load_module(self.backward_detector, directory / "backward.npz")
+        if self.independent_detector is not None:
+            load_module(self.independent_detector,
+                        directory / "independent.npz")
+        payload = json.loads((directory / "state.json").read_text())
+        self.featurizer.normalizer = ZScoreNormalizer.from_dict(
+            payload["normalizer"])
+        self._fitted = True
+        return self

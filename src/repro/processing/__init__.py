@@ -1,0 +1,15 @@
+"""Raw trajectory processing — LEAD component 1 (paper §III).
+
+Noise filtering, stay point extraction, and candidate trajectory
+generation (DESIGN.md S11-S13).
+"""
+
+from .noise import NoiseFilter
+from .staypoints import StayPointExtractor, extract_move_points
+from .candidates import CandidateGenerator
+from .pipeline import ProcessedTrajectory, RawTrajectoryProcessor
+
+__all__ = [
+    "NoiseFilter", "StayPointExtractor", "extract_move_points",
+    "CandidateGenerator", "ProcessedTrajectory", "RawTrajectoryProcessor",
+]

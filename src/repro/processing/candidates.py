@@ -1,0 +1,49 @@
+"""Candidate trajectory generation (paper §III).
+
+Enumerates every ordered pair of stay points ``(i', j')`` with
+``i' < j'``, producing the n(n-1)/2 candidate trajectories that form the
+search space for loaded trajectory detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..model import CandidateTrajectory, MovePoint, StayPoint
+
+__all__ = ["CandidateGenerator"]
+
+
+@dataclass(frozen=True)
+class CandidateGenerator:
+    """Enumerate candidate trajectories from extracted stay/move points.
+
+    ``max_stay_points`` guards against pathological inputs: the paper's
+    one-day trajectories have 3-14 stay points (3-91 candidates), and the
+    quadratic enumeration stays cheap in that regime.
+    """
+
+    max_stay_points: int = 64
+
+    def generate(self, stay_points: list[StayPoint],
+                 move_points: list[MovePoint]) -> list[CandidateTrajectory]:
+        """All candidates in forward-group order: (1,2), (1,3), ..., (n-1,n)."""
+        n = len(stay_points)
+        if n > self.max_stay_points:
+            raise ValueError(
+                f"{n} stay points exceed the {self.max_stay_points} cap")
+        if len(move_points) != max(0, n - 1):
+            raise ValueError(
+                f"{n} stay points require {max(0, n - 1)} move points, "
+                f"got {len(move_points)}")
+        candidates = []
+        for i in range(1, n + 1):
+            for j in range(i + 1, n + 1):
+                candidates.append(
+                    CandidateTrajectory.build(stay_points, move_points, i, j))
+        return candidates
+
+    @staticmethod
+    def count_for(num_stay_points: int) -> int:
+        """n(n-1)/2 — how many candidates ``n`` stay points produce."""
+        return num_stay_points * (num_stay_points - 1) // 2

@@ -1,0 +1,56 @@
+"""Heuristic speed-based noise filtering (paper §III, after Zheng [6]).
+
+The filter walks the trajectory and computes the travel speed of each GPS
+point relative to the last *kept* point; points implying a speed above
+``Vmax`` are dropped.  Comparing against the last kept point (rather than
+the immediate predecessor) removes runs of consecutive outliers and avoids
+discarding the good point that follows an outlier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geo import haversine_m, speed_kmh
+from ..model import Trajectory
+
+__all__ = ["NoiseFilter"]
+
+
+@dataclass(frozen=True)
+class NoiseFilter:
+    """Remove GPS points whose implied speed exceeds ``max_speed_kmh``.
+
+    The paper sets ``Vmax`` to 130 km/h: HCT trucks essentially never move
+    faster, so any faster implied jump is sensor error.
+    """
+
+    max_speed_kmh: float = 130.0
+
+    def __post_init__(self) -> None:
+        if self.max_speed_kmh <= 0:
+            raise ValueError("max_speed_kmh must be positive")
+
+    def filter(self, trajectory: Trajectory) -> Trajectory:
+        """Return a cleaned copy of ``trajectory``."""
+        n = len(trajectory)
+        if n <= 1:
+            return trajectory
+        keep = [0]
+        for i in range(1, n):
+            j = keep[-1]
+            distance = haversine_m(trajectory.lats[j], trajectory.lngs[j],
+                                   trajectory.lats[i], trajectory.lngs[i])
+            dt = float(trajectory.ts[i] - trajectory.ts[j])
+            if speed_kmh(distance, dt) <= self.max_speed_kmh:
+                keep.append(i)
+        index = np.asarray(keep)
+        return Trajectory(trajectory.lats[index], trajectory.lngs[index],
+                          trajectory.ts[index],
+                          truck_id=trajectory.truck_id, day=trajectory.day)
+
+    def removed_count(self, trajectory: Trajectory) -> int:
+        """Number of points the filter would drop."""
+        return len(trajectory) - len(self.filter(trajectory))

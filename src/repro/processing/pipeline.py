@@ -1,0 +1,86 @@
+"""End-to-end raw trajectory processing (LEAD component 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..model import (CandidateTrajectory, LoadedLabel, MovePoint, StayPoint,
+                     Trajectory)
+from .candidates import CandidateGenerator
+from .noise import NoiseFilter
+from .staypoints import StayPointExtractor, extract_move_points
+
+__all__ = ["ProcessedTrajectory", "RawTrajectoryProcessor"]
+
+
+@dataclass(frozen=True)
+class ProcessedTrajectory:
+    """The result of processing one raw trajectory.
+
+    ``label_pair`` is the ground-truth ``(i', j')`` ordinal pair when a
+    label was supplied and could be mapped onto the extracted stay points,
+    otherwise ``None``.
+    """
+
+    raw: Trajectory
+    cleaned: Trajectory
+    stay_points: tuple[StayPoint, ...]
+    move_points: tuple[MovePoint, ...]
+    candidates: tuple[CandidateTrajectory, ...]
+    label_pair: tuple[int, int] | None = None
+
+    @property
+    def num_stay_points(self) -> int:
+        return len(self.stay_points)
+
+    @property
+    def num_candidates(self) -> int:
+        return len(self.candidates)
+
+    def candidate_index(self, pair: tuple[int, int]) -> int:
+        """Position of candidate ``(i', j')`` in the enumeration order."""
+        for index, candidate in enumerate(self.candidates):
+            if candidate.pair == pair:
+                return index
+        raise KeyError(f"no candidate with pair {pair}")
+
+    @property
+    def labeled_candidate_index(self) -> int | None:
+        if self.label_pair is None:
+            return None
+        return self.candidate_index(self.label_pair)
+
+
+@dataclass(frozen=True)
+class RawTrajectoryProcessor:
+    """Noise filtering -> stay point extraction -> candidate generation."""
+
+    noise_filter: NoiseFilter = field(default_factory=NoiseFilter)
+    extractor: StayPointExtractor = field(default_factory=StayPointExtractor)
+    generator: CandidateGenerator = field(default_factory=CandidateGenerator)
+    min_stay_points: int = 2
+
+    def process(self, trajectory: Trajectory,
+                label: LoadedLabel | None = None
+                ) -> ProcessedTrajectory | None:
+        """Process one raw trajectory.
+
+        Returns ``None`` when fewer than ``min_stay_points`` stay points
+        are found (no candidate can be formed), mirroring how such days are
+        excluded from the paper's dataset.
+        """
+        cleaned = self.noise_filter.filter(trajectory)
+        stay_points = self.extractor.extract(cleaned)
+        if len(stay_points) < self.min_stay_points:
+            return None
+        move_points = extract_move_points(cleaned, stay_points)
+        candidates = self.generator.generate(stay_points, move_points)
+        label_pair = None
+        if label is not None:
+            label_pair = label.to_ordinal_pair(stay_points)
+        return ProcessedTrajectory(
+            raw=trajectory, cleaned=cleaned,
+            stay_points=tuple(stay_points),
+            move_points=tuple(move_points),
+            candidates=tuple(candidates),
+            label_pair=label_pair)

@@ -1,0 +1,73 @@
+"""Stay point extraction (paper §III, after Li et al. [7]).
+
+Anchor-based rule algorithm: starting from an anchor point, collect the
+maximal run of successors within ``Dmax`` meters of the anchor; if the run
+lasts at least ``Tmin`` seconds it is a stay point and the anchor jumps past
+it, otherwise the anchor advances by one.  The produced stay points are
+temporally consecutive and numbered 1..n, as the paper requires for stay
+point ordinals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geo import haversine_m
+from ..model import MovePoint, StayPoint, Trajectory
+
+__all__ = ["StayPointExtractor", "extract_move_points"]
+
+
+@dataclass(frozen=True)
+class StayPointExtractor:
+    """Extract stay points with distance threshold ``Dmax`` and time
+    threshold ``Tmin`` (defaults are the paper's tuned values, §VI-A)."""
+
+    max_distance_m: float = 500.0
+    min_duration_s: float = 15.0 * 60.0
+
+    def __post_init__(self) -> None:
+        if self.max_distance_m <= 0 or self.min_duration_s <= 0:
+            raise ValueError("thresholds must be positive")
+
+    def extract(self, trajectory: Trajectory) -> list[StayPoint]:
+        """All stay points of a (cleaned) trajectory, in temporal order."""
+        n = len(trajectory)
+        stay_points: list[StayPoint] = []
+        anchor = 0
+        while anchor < n - 1:
+            # Maximal run of successors within Dmax of the anchor.
+            last = anchor
+            for k in range(anchor + 1, n):
+                distance = haversine_m(
+                    trajectory.lats[anchor], trajectory.lngs[anchor],
+                    trajectory.lats[k], trajectory.lngs[k])
+                if distance > self.max_distance_m:
+                    break
+                last = k
+            duration = float(trajectory.ts[last] - trajectory.ts[anchor])
+            if last > anchor and duration >= self.min_duration_s:
+                stay_points.append(StayPoint(
+                    trajectory, anchor, last,
+                    ordinal=len(stay_points) + 1))
+                anchor = last + 1
+            else:
+                anchor += 1
+        return stay_points
+
+
+def extract_move_points(trajectory: Trajectory,
+                        stay_points: list[StayPoint]) -> list[MovePoint]:
+    """Move points connecting consecutive stay points (Definition 5).
+
+    Each move point spans from the last GPS point of the preceding stay
+    point to the first GPS point of the following one (inclusive), so a
+    move segment is never empty even when sampling skipped the transit.
+    """
+    move_points: list[MovePoint] = []
+    for a, b in zip(stay_points, stay_points[1:]):
+        if b.start < a.end:
+            raise ValueError("stay points overlap or are out of order")
+        move_points.append(MovePoint(trajectory, a.end, b.start,
+                                     ordinal=a.ordinal))
+    return move_points

@@ -1,0 +1,173 @@
+"""Tests for the downstream-analysis APIs (waybills, compliance, sites)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (CurfewRule, SiteCluster, UrbanAreaRule,
+                            Violation, Waybill, audit_detection,
+                            cluster_endpoints, detection_endpoints,
+                            find_unregistered_sites, waybill_errors,
+                            waybill_from_detection)
+from repro.eval import DetectionRecord, endpoint_accuracy, overlap_score
+from repro.geo import BoundingBox
+from repro.model import LoadedLabel, TimeInterval, Trajectory
+from repro.pipeline import DetectionResult
+from repro.processing import RawTrajectoryProcessor
+
+from .test_processing import trajectory_with_stays
+
+
+def make_detection(num_stays=4, pair=(1, 3)):
+    """A DetectionResult over a deterministic multi-stay trajectory."""
+    trajectory = trajectory_with_stays(num_stays=num_stays)
+    processed = RawTrajectoryProcessor().process(trajectory)
+    assert processed is not None and processed.num_stay_points == num_stays
+    distribution = np.zeros(processed.num_candidates)
+    distribution[processed.candidate_index(pair)] = 1.0
+    return DetectionResult(pair, distribution, processed)
+
+
+class TestWaybill:
+    def test_rejects_reversed_times(self):
+        with pytest.raises(ValueError):
+            Waybill(100.0, 50.0, 0, 0, 0, 0)
+
+    def test_from_detection_uses_endpoint_stays(self):
+        result = make_detection(pair=(2, 4))
+        waybill = waybill_from_detection(result)
+        loading = result.candidate.stay_points[0]
+        unloading = result.candidate.stay_points[-1]
+        assert waybill.loading_t == loading.arrival_t
+        assert waybill.unloading_t == unloading.arrival_t
+        assert waybill.loading_lat == pytest.approx(loading.centroid[0])
+
+    def test_errors_zero_for_perfect_waybill(self):
+        result = make_detection(pair=(1, 3))
+        waybill = waybill_from_detection(result)
+        label = LoadedLabel(
+            loading=TimeInterval(waybill.loading_t, waybill.loading_t + 600),
+            unloading=TimeInterval(waybill.unloading_t,
+                                   waybill.unloading_t + 600),
+            loading_lat=waybill.loading_lat,
+            loading_lng=waybill.loading_lng,
+            unloading_lat=waybill.unloading_lat,
+            unloading_lng=waybill.unloading_lng)
+        time_error, location_error = waybill_errors(waybill, label)
+        assert time_error == pytest.approx(0.0)
+        assert location_error == pytest.approx(0.0, abs=1e-6)
+
+
+class TestCompliance:
+    def test_violation_validation(self):
+        with pytest.raises(ValueError):
+            Violation("r", "d", 1.5)
+
+    def test_urban_rule_flags_inside_fixes(self):
+        result = make_detection()
+        loaded = result.candidate.subtrajectory()
+        box = BoundingBox(loaded.lats.min() - 0.01, loaded.lngs.min() - 0.01,
+                          loaded.lats.max() + 0.01, loaded.lngs.max() + 0.01)
+        violations = audit_detection(result, [UrbanAreaRule(box)])
+        assert len(violations) == 1
+        assert violations[0].severity == pytest.approx(1.0)
+
+    def test_urban_rule_clean_outside(self):
+        result = make_detection()
+        far_box = BoundingBox(10.0, 10.0, 11.0, 11.0)
+        assert audit_detection(result, [UrbanAreaRule(far_box)]) == []
+
+    def test_curfew_rule_validation(self):
+        with pytest.raises(ValueError):
+            CurfewRule(start_s=5 * 3600, end_s=2 * 3600)
+
+    def test_curfew_rule_flags_night_movement(self):
+        # Fast movement with timestamps inside the 2-5 am window.
+        n = 10
+        lats = 31.9 + np.arange(n) * 0.01
+        ts = 2.5 * 3600 + np.arange(n) * 60.0
+        trajectory = Trajectory(lats, np.full(n, 120.8), ts)
+        rule = CurfewRule()
+        violations = rule.check(trajectory)
+        assert len(violations) == 1
+        assert violations[0].rule == "curfew"
+
+    def test_curfew_rule_ignores_daytime(self):
+        n = 10
+        lats = 31.9 + np.arange(n) * 0.01
+        ts = 12 * 3600 + np.arange(n) * 60.0
+        trajectory = Trajectory(lats, np.full(n, 120.8), ts)
+        assert CurfewRule().check(trajectory) == []
+
+    def test_curfew_rule_ignores_parked_truck(self):
+        n = 10
+        ts = 3 * 3600 + np.arange(n) * 60.0
+        trajectory = Trajectory(np.full(n, 31.9) + np.arange(n) * 1e-7,
+                                np.full(n, 120.8), ts)
+        assert CurfewRule().check(trajectory) == []
+
+
+class TestSites:
+    def test_cluster_validation(self):
+        with pytest.raises(ValueError):
+            cluster_endpoints([], radius_m=0)
+        with pytest.raises(ValueError):
+            SiteCluster(0, 0, 0)
+
+    def test_clustering_merges_nearby(self):
+        base = (32.0, 120.9)
+        near = (32.0005, 120.9)       # ~55 m
+        far = (32.1, 120.9)           # ~11 km
+        clusters = cluster_endpoints([base, near, far])
+        assert len(clusters) == 2
+        assert sorted(c.visits for c in clusters) == [1, 2]
+
+    def test_detection_endpoints(self):
+        result = make_detection(pair=(1, 3))
+        endpoints = detection_endpoints([result])
+        assert len(endpoints) == 2
+        assert endpoints[0] == result.candidate.stay_points[0].centroid
+
+    def test_find_unregistered_sites(self):
+        result = make_detection(pair=(1, 3))
+        endpoints = detection_endpoints([result])
+        # Register only the loading endpoint; unloading becomes suspicious.
+        registered = [endpoints[0]]
+        suspicious = find_unregistered_sites(
+            [result, result], registered, min_visits=2)
+        assert len(suspicious) == 1
+        assert suspicious[0].visits == 2
+
+    def test_everything_registered_is_clean(self):
+        result = make_detection(pair=(1, 3))
+        registered = detection_endpoints([result])
+        assert find_unregistered_sites([result, result], registered) == []
+
+
+class TestExtraMetrics:
+    def test_endpoint_accuracy(self):
+        records = [
+            DetectionRecord(5, (1, 4), (1, 4)),   # both right
+            DetectionRecord(5, (1, 4), (1, 3)),   # loading right
+            DetectionRecord(5, (1, 4), (2, 4)),   # unloading right
+            DetectionRecord(5, (1, 4), (2, 3)),   # both wrong
+        ]
+        scores = endpoint_accuracy(records)
+        assert scores["loading"] == 50.0
+        assert scores["unloading"] == 50.0
+        assert scores["either"] == 75.0
+
+    def test_overlap_score(self):
+        exact = [DetectionRecord(5, (1, 4), (1, 4))]
+        assert overlap_score(exact) == pytest.approx(1.0)
+        disjoint = [DetectionRecord(6, (1, 2), (5, 6))]
+        assert overlap_score(disjoint) == pytest.approx(0.0)
+        partial = [DetectionRecord(6, (1, 4), (2, 5))]
+        assert overlap_score(partial) == pytest.approx(2.0 / 4.0)
+
+    def test_empty_records_raise(self):
+        with pytest.raises(ValueError):
+            endpoint_accuracy([])
+        with pytest.raises(ValueError):
+            overlap_score([])

@@ -1,0 +1,34 @@
+"""Tests for the command-line interface (cheap paths only)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data import HCTDataset
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "--out", "x.json.gz", "--trajectories", "5"])
+        assert args.trajectories == 5
+
+    def test_tables_scale_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tables", "--scale", "galactic"])
+
+
+class TestGenerate:
+    def test_generate_writes_dataset(self, tmp_path, capsys):
+        out = tmp_path / "data.json.gz"
+        code = main(["generate", "--out", str(out), "--trajectories", "4",
+                     "--seed", "3"])
+        assert code == 0
+        dataset = HCTDataset.load(out)
+        assert len(dataset) == 4
+        assert "wrote 4" in capsys.readouterr().out

@@ -1,0 +1,140 @@
+"""Tests for the geodesy utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import (BoundingBox, LocalProjection, NANTONG_BBOX,
+                       haversine_m, pairwise_haversine_m, speed_kmh)
+
+LAT = st.floats(-80.0, 80.0)
+LNG = st.floats(-179.0, 179.0)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_m(32.0, 120.9, 32.0, 120.9) == 0.0
+
+    def test_one_degree_latitude_about_111km(self):
+        d = haversine_m(31.0, 120.0, 32.0, 120.0)
+        assert 110_000 < d < 112_500
+
+    def test_known_city_pair(self):
+        # Nantong to Shanghai ~ 100 km as the crow flies.
+        d = haversine_m(31.98, 120.89, 31.23, 121.47)
+        assert 80_000 < d < 120_000
+
+    @settings(max_examples=50, deadline=None)
+    @given(LAT, LNG, LAT, LNG)
+    def test_symmetry(self, lat1, lng1, lat2, lng2):
+        d1 = haversine_m(lat1, lng1, lat2, lng2)
+        d2 = haversine_m(lat2, lng2, lat1, lng1)
+        assert d1 == pytest.approx(d2, rel=1e-9, abs=1e-6)
+
+    @settings(max_examples=50, deadline=None)
+    @given(LAT, LNG, LAT, LNG)
+    def test_nonnegative(self, lat1, lng1, lat2, lng2):
+        assert haversine_m(lat1, lng1, lat2, lng2) >= 0.0
+
+    def test_array_broadcast(self):
+        lats = np.array([31.0, 32.0])
+        d = haversine_m(lats, 120.0, lats + 0.1, 120.0)
+        assert d.shape == (2,)
+        assert (d > 0).all()
+
+    def test_pairwise(self):
+        lats = np.array([31.0, 31.0, 31.1])
+        lngs = np.array([120.0, 120.1, 120.1])
+        d = pairwise_haversine_m(lats, lngs)
+        assert d.shape == (2,)
+        assert (d > 0).all()
+
+    def test_pairwise_single_point(self):
+        assert pairwise_haversine_m(np.array([31.0]),
+                                    np.array([120.0])).size == 0
+
+    def test_pairwise_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            pairwise_haversine_m(np.zeros(3), np.zeros(2))
+
+
+class TestSpeed:
+    def test_basic_conversion(self):
+        assert speed_kmh(1000.0, 3600.0) == pytest.approx(1.0)
+
+    def test_zero_duration_is_infinite(self):
+        assert speed_kmh(100.0, 0.0) == float("inf")
+
+    def test_negative_duration_is_infinite(self):
+        assert speed_kmh(100.0, -5.0) == float("inf")
+
+
+class TestBoundingBox:
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            BoundingBox(1.0, 2.0, 1.0, 3.0)
+
+    def test_contains_and_center(self):
+        box = BoundingBox(0.0, 0.0, 2.0, 4.0)
+        assert box.center == (1.0, 2.0)
+        assert box.contains(1.0, 1.0)
+        assert not box.contains(3.0, 1.0)
+
+    def test_clamp(self):
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        assert box.clamp(2.0, -1.0) == (1.0, 0.0)
+
+    def test_sample_inside(self):
+        rng = np.random.default_rng(0)
+        points = NANTONG_BBOX.sample(rng, 100)
+        assert points.shape == (100, 2)
+        assert all(NANTONG_BBOX.contains(lat, lng) for lat, lng in points)
+
+    def test_sample_single(self):
+        rng = np.random.default_rng(0)
+        point = NANTONG_BBOX.sample(rng)
+        assert point.shape == (2,)
+
+    def test_shrink(self):
+        inner = NANTONG_BBOX.shrink(0.5)
+        assert inner.lat_span == pytest.approx(NANTONG_BBOX.lat_span / 2)
+        assert inner.center == pytest.approx(NANTONG_BBOX.center)
+
+    def test_shrink_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            NANTONG_BBOX.shrink(0.0)
+
+
+class TestProjection:
+    def test_roundtrip(self):
+        proj = LocalProjection(*NANTONG_BBOX.center)
+        lat, lng = 32.05, 120.8
+        x, y = proj.to_xy(lat, lng)
+        lat2, lng2 = proj.to_latlng(x, y)
+        assert float(lat2) == pytest.approx(lat, abs=1e-9)
+        assert float(lng2) == pytest.approx(lng, abs=1e-9)
+
+    def test_distances_match_haversine_at_city_scale(self):
+        proj = LocalProjection(*NANTONG_BBOX.center)
+        a = (32.0, 120.7)
+        b = (32.1, 120.9)
+        ax, ay = proj.to_xy(*a)
+        bx, by = proj.to_xy(*b)
+        planar = float(np.hypot(bx - ax, by - ay))
+        spherical = haversine_m(*a, *b)
+        assert planar == pytest.approx(spherical, rel=2e-3)
+
+    def test_rejects_pole(self):
+        with pytest.raises(ValueError):
+            LocalProjection(90.0, 0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(31.8, 32.3), st.floats(120.5, 121.2))
+    def test_roundtrip_property(self, lat, lng):
+        proj = LocalProjection(*NANTONG_BBOX.center)
+        lat2, lng2 = proj.to_latlng(*proj.to_xy(lat, lng))
+        assert float(lat2) == pytest.approx(lat, abs=1e-9)
+        assert float(lng2) == pytest.approx(lng, abs=1e-9)

@@ -1,0 +1,191 @@
+"""Tests for the trajectory data model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model import (CandidateTrajectory, GPSPoint, LoadedLabel,
+                         MovePoint, StayPoint, TimeInterval, Trajectory)
+
+
+def straight_trajectory(n=10, dt=120.0, truck_id="truck-1"):
+    lats = 32.0 + np.arange(n) * 0.001
+    lngs = np.full(n, 120.9)
+    ts = np.arange(n) * dt
+    return Trajectory(lats, lngs, ts, truck_id=truck_id, day="2020-09-01")
+
+
+class TestTrajectory:
+    def test_lengths_and_iteration(self):
+        tr = straight_trajectory(5)
+        assert len(tr) == 5
+        points = list(tr)
+        assert all(isinstance(p, GPSPoint) for p in points)
+        assert points[0].t == 0.0
+
+    def test_rejects_unsorted_timestamps(self):
+        with pytest.raises(ValueError):
+            Trajectory([1.0, 2.0], [1.0, 2.0], [10.0, 5.0])
+
+    def test_rejects_duplicate_timestamps(self):
+        with pytest.raises(ValueError):
+            Trajectory([1.0, 2.0], [1.0, 2.0], [5.0, 5.0])
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ValueError):
+            Trajectory([1.0], [1.0, 2.0], [0.0])
+
+    def test_slice_and_getitem(self):
+        tr = straight_trajectory(10)
+        sub = tr[2:5]
+        assert isinstance(sub, Trajectory)
+        assert len(sub) == 3
+        assert sub.point(0).t == tr.point(2).t
+        assert tr[3].lat == pytest.approx(32.003)
+
+    def test_slice_rejects_step(self):
+        with pytest.raises(ValueError):
+            straight_trajectory(10)[::2]
+
+    def test_duration_and_length(self):
+        tr = straight_trajectory(10)
+        assert tr.duration_s == pytest.approx(9 * 120.0)
+        assert tr.length_m() > 0
+
+    def test_segment_speeds(self):
+        tr = straight_trajectory(5)
+        speeds = tr.segment_speeds_kmh()
+        assert speeds.shape == (4,)
+        # ~111m per 0.001 deg lat over 120s -> ~3.3 km/h
+        assert np.all((speeds > 2.0) & (speeds < 5.0))
+
+    def test_dict_roundtrip(self):
+        tr = straight_trajectory(4)
+        tr2 = Trajectory.from_dict(tr.to_dict())
+        np.testing.assert_array_equal(tr.lats, tr2.lats)
+        assert tr2.truck_id == "truck-1"
+
+    def test_point_distance(self):
+        a = GPSPoint(32.0, 120.9, 0.0)
+        b = GPSPoint(32.001, 120.9, 60.0)
+        assert 100 < a.distance_m(b) < 120
+
+
+class TestStayPoint:
+    def test_properties(self):
+        tr = straight_trajectory(10)
+        sp = StayPoint(tr, 2, 5, ordinal=1)
+        assert sp.num_points == 4
+        assert sp.arrival_t == tr.point(2).t
+        assert sp.departure_t == tr.point(5).t
+        assert sp.duration_s == pytest.approx(3 * 120.0)
+        lat, lng = sp.centroid
+        assert lat == pytest.approx(tr.lats[2:6].mean())
+        assert len(sp.subtrajectory()) == 4
+
+    def test_rejects_bad_range(self):
+        tr = straight_trajectory(5)
+        with pytest.raises(ValueError):
+            StayPoint(tr, 3, 2, ordinal=1)
+        with pytest.raises(ValueError):
+            StayPoint(tr, 0, 10, ordinal=1)
+        with pytest.raises(ValueError):
+            StayPoint(tr, 0, 1, ordinal=0)
+
+
+class TestCandidateTrajectory:
+    def make_parts(self, n_sp=4):
+        tr = straight_trajectory(n_sp * 4)
+        sps = [StayPoint(tr, i * 4, i * 4 + 1, ordinal=i + 1)
+               for i in range(n_sp)]
+        mps = [MovePoint(tr, sps[i].end, sps[i + 1].start, ordinal=i + 1)
+               for i in range(n_sp - 1)]
+        return tr, sps, mps
+
+    def test_build_and_identity(self):
+        _, sps, mps = self.make_parts()
+        cand = CandidateTrajectory.build(sps, mps, 2, 4)
+        assert cand.pair == (2, 4)
+        assert cand.start_index == sps[1].start
+        assert cand.end_index == sps[3].end
+        assert cand.num_points == sps[3].end - sps[1].start + 1
+
+    def test_segments_alternate(self):
+        _, sps, mps = self.make_parts()
+        cand = CandidateTrajectory.build(sps, mps, 1, 3)
+        segments = cand.segments()
+        assert len(segments) == 5
+        assert isinstance(segments[0], StayPoint)
+        assert isinstance(segments[1], MovePoint)
+        assert isinstance(segments[-1], StayPoint)
+
+    def test_build_rejects_bad_pairs(self):
+        _, sps, mps = self.make_parts()
+        with pytest.raises(ValueError):
+            CandidateTrajectory.build(sps, mps, 3, 3)
+        with pytest.raises(ValueError):
+            CandidateTrajectory.build(sps, mps, 0, 2)
+        with pytest.raises(ValueError):
+            CandidateTrajectory.build(sps, mps, 1, 9)
+
+    def test_constructor_validates_counts(self):
+        _, sps, mps = self.make_parts()
+        with pytest.raises(ValueError):
+            CandidateTrajectory(tuple(sps[:2]), ())
+        with pytest.raises(ValueError):
+            CandidateTrajectory((sps[0],), ())
+
+    def test_subtrajectory_spans_candidate(self):
+        _, sps, mps = self.make_parts()
+        cand = CandidateTrajectory.build(sps, mps, 1, 2)
+        assert len(cand.subtrajectory()) == cand.num_points
+
+
+class TestLabels:
+    def test_interval_overlap(self):
+        a = TimeInterval(0.0, 10.0)
+        assert a.overlap_s(TimeInterval(5.0, 15.0)) == 5.0
+        assert a.overlap_s(TimeInterval(20.0, 30.0)) == 0.0
+        assert a.contains_t(10.0)
+        assert not a.contains_t(10.1)
+        assert a.duration_s == 10.0
+
+    def test_interval_rejects_reversed(self):
+        with pytest.raises(ValueError):
+            TimeInterval(5.0, 1.0)
+
+    def test_label_requires_order(self):
+        with pytest.raises(ValueError):
+            LoadedLabel(TimeInterval(100.0, 200.0), TimeInterval(50.0, 80.0),
+                        0, 0, 0, 0)
+
+    def test_to_ordinal_pair(self):
+        tr = straight_trajectory(20)
+        sps = [StayPoint(tr, 0, 2, 1),    # t in [0, 240]
+               StayPoint(tr, 5, 8, 2),    # t in [600, 960]
+               StayPoint(tr, 12, 15, 3)]  # t in [1440, 1800]
+        label = LoadedLabel(TimeInterval(600.0, 960.0),
+                            TimeInterval(1400.0, 1700.0), 0, 0, 0, 0)
+        assert label.to_ordinal_pair(sps) == (2, 3)
+
+    def test_to_ordinal_pair_missing_overlap(self):
+        tr = straight_trajectory(20)
+        sps = [StayPoint(tr, 0, 2, 1)]
+        label = LoadedLabel(TimeInterval(5000.0, 6000.0),
+                            TimeInterval(7000.0, 8000.0), 0, 0, 0, 0)
+        assert label.to_ordinal_pair(sps) is None
+
+    def test_to_ordinal_pair_same_stay_rejected(self):
+        tr = straight_trajectory(20)
+        sps = [StayPoint(tr, 0, 10, 1)]
+        label = LoadedLabel(TimeInterval(0.0, 300.0),
+                            TimeInterval(600.0, 900.0), 0, 0, 0, 0)
+        # Both intervals map to the single stay point -> invalid pair.
+        assert label.to_ordinal_pair(sps) is None
+
+    def test_label_dict_roundtrip(self):
+        label = LoadedLabel(TimeInterval(0.0, 10.0), TimeInterval(20.0, 30.0),
+                            32.0, 120.9, 32.1, 121.0)
+        again = LoadedLabel.from_dict(label.to_dict())
+        assert again == label

@@ -1,0 +1,250 @@
+"""Tests for modules, layers, losses, optimizers, training utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (Adam, EarlyStopping, GradientAccumulator, Linear,
+                      Module, Parameter, SGD, Sequential, Tensor, bce_loss,
+                      clip_grad_norm, kld_loss, load_module, mse_loss,
+                      save_module)
+
+RNG = np.random.default_rng(11)
+
+
+class TinyNet(Module):
+    def __init__(self, rng=None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.first = Linear(3, 4, rng)
+        self.second = Linear(4, 1, rng)
+        self.blocks = [Linear(2, 2, rng), Linear(2, 2, rng)]
+
+    def forward(self, x):
+        return self.second(self.first(x).tanh())
+
+
+class TestModule:
+    def test_named_parameters_discovers_nested_and_lists(self):
+        net = TinyNet()
+        names = {name for name, _ in net.named_parameters()}
+        assert "first.weight" in names
+        assert "second.bias" in names
+        assert "blocks.0.weight" in names
+        assert "blocks.1.bias" in names
+
+    def test_num_parameters(self):
+        net = TinyNet()
+        expected = 3 * 4 + 4 + 4 * 1 + 1 + 2 * (2 * 2 + 2)
+        assert net.num_parameters() == expected
+
+    def test_state_dict_roundtrip(self):
+        a, b = TinyNet(), TinyNet(np.random.default_rng(99))
+        b.load_state_dict(a.state_dict())
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_load_state_dict_rejects_missing_keys(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state.pop("first.weight")
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_load_state_dict_rejects_shape_mismatch(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["first.weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_train_eval_mode_propagates(self):
+        net = TinyNet()
+        net.eval()
+        assert not net.training
+        assert not net.first.training
+        assert not net.blocks[0].training
+        net.train()
+        assert net.blocks[1].training
+
+    def test_zero_grad_clears(self):
+        net = TinyNet()
+        x = Tensor(RNG.normal(size=(2, 3)))
+        net(x).sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(5, 2, RNG)
+        out = layer(Tensor(RNG.normal(size=(7, 5))))
+        assert out.shape == (7, 2)
+
+    def test_forward_batched_3d(self):
+        layer = Linear(5, 2, RNG)
+        out = layer(Tensor(RNG.normal(size=(3, 4, 5))))
+        assert out.shape == (3, 4, 2)
+
+    def test_rejects_wrong_width(self):
+        layer = Linear(5, 2, RNG)
+        with pytest.raises(ValueError):
+            layer(Tensor(RNG.normal(size=(7, 4))))
+
+    def test_sequential_applies_in_order(self):
+        seq = Sequential(Linear(3, 3, RNG), Linear(3, 2, RNG))
+        assert len(seq) == 2
+        out = seq(Tensor(RNG.normal(size=(4, 3))))
+        assert out.shape == (4, 2)
+
+
+class TestLosses:
+    def test_mse_zero_for_identical(self):
+        pred = Tensor(np.ones((2, 3)))
+        assert mse_loss(pred, np.ones((2, 3))).item() == 0.0
+
+    def test_mse_matches_numpy(self):
+        pred_data = RNG.normal(size=(4, 3))
+        target = RNG.normal(size=(4, 3))
+        loss = mse_loss(Tensor(pred_data), target).item()
+        np.testing.assert_allclose(loss, ((pred_data - target) ** 2).mean())
+
+    def test_mse_mask_ignores_padding(self):
+        pred = Tensor(np.ones((2, 3)))
+        target = np.zeros((2, 3))
+        target[:, 2] = 100.0  # padded column with junk
+        mask = np.array([[1.0, 1.0, 0.0], [1.0, 1.0, 0.0]])
+        np.testing.assert_allclose(mse_loss(pred, target, mask).item(), 1.0)
+
+    def test_mse_empty_mask_raises(self):
+        with pytest.raises(ValueError):
+            mse_loss(Tensor(np.ones((2, 2))), np.ones((2, 2)),
+                     np.zeros((2, 2)))
+
+    def test_kld_zero_for_identical_distributions(self):
+        p = np.array([0.2, 0.3, 0.5])
+        assert abs(kld_loss(p, Tensor(p)).item()) < 1e-9
+
+    def test_kld_positive_for_different_distributions(self):
+        p = np.array([0.9, 0.05, 0.05])
+        q = Tensor(np.array([1 / 3, 1 / 3, 1 / 3]))
+        assert kld_loss(p, q).item() > 0.0
+
+    def test_kld_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            kld_loss(np.ones(3) / 3, Tensor(np.ones(4) / 4))
+
+    def test_kld_gradient_direction(self):
+        # Pushing prediction toward the label must reduce the loss.
+        q = Tensor(np.array([0.5, 0.5]), requires_grad=True)
+        label = np.array([0.9, 0.1])
+        loss = kld_loss(label, q)
+        loss.backward()
+        # KL = -sum(p log q) + const, so dKL/dq_i = -p_i/q_i: the gradient
+        # pulls hardest on the under-weighted coordinate.
+        assert q.grad[0] < q.grad[1] < 0
+
+    def test_bce_loss_basics(self):
+        good = bce_loss(Tensor(np.array([0.99, 0.01])),
+                        np.array([1.0, 0.0])).item()
+        bad = bce_loss(Tensor(np.array([0.01, 0.99])),
+                       np.array([1.0, 0.0])).item()
+        assert good < bad
+
+    def test_bce_finite_at_extremes(self):
+        loss = bce_loss(Tensor(np.array([1.0, 0.0])), np.array([0.0, 1.0]))
+        assert np.isfinite(loss.item())
+
+
+class TestOptim:
+    def _quadratic_descent(self, optimizer_cls, **kwargs):
+        target = np.array([1.0, -2.0, 3.0])
+        p = Parameter(np.zeros(3))
+        opt = optimizer_cls([p], **kwargs)
+        for _ in range(500):
+            opt.zero_grad()
+            loss = ((p - Tensor(target)) ** 2).sum()
+            loss.backward()
+            opt.step()
+        return p.data, target
+
+    def test_sgd_converges_on_quadratic(self):
+        value, target = self._quadratic_descent(SGD, lr=0.05)
+        np.testing.assert_allclose(value, target, atol=1e-3)
+
+    def test_sgd_momentum_converges(self):
+        value, target = self._quadratic_descent(SGD, lr=0.02, momentum=0.9)
+        np.testing.assert_allclose(value, target, atol=1e-3)
+
+    def test_adam_converges_on_quadratic(self):
+        value, target = self._quadratic_descent(Adam, lr=0.05)
+        np.testing.assert_allclose(value, target, atol=1e-2)
+
+    def test_optimizer_requires_parameters(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_clip_grad_norm(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 10.0)
+        before = clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(before, 20.0)
+        np.testing.assert_allclose(np.linalg.norm(p.grad), 1.0, rtol=1e-6)
+
+    def test_clip_grad_norm_noop_below_threshold(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([0.3, 0.4])
+        clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(p.grad, [0.3, 0.4])
+
+
+class TestTrainingUtilities:
+    def test_early_stopping_triggers_after_patience(self):
+        stopper = EarlyStopping(patience=2)
+        assert not stopper.update(1.0)
+        assert not stopper.update(0.5)   # improvement
+        assert not stopper.update(0.6)   # bad 1
+        assert stopper.update(0.7)       # bad 2 -> stop
+        assert stopper.best == 0.5
+        assert stopper.best_epoch == 1
+
+    def test_early_stopping_min_delta(self):
+        stopper = EarlyStopping(patience=1, min_delta=0.1)
+        assert not stopper.update(1.0)
+        assert stopper.update(0.95)  # not enough improvement
+
+    def test_gradient_accumulator_steps_every_n(self):
+        p = Parameter(np.zeros(1))
+        opt = SGD([p], lr=1.0)
+        acc = GradientAccumulator(opt, accumulate=4, max_grad_norm=None)
+        for _ in range(4):
+            loss = (p - Tensor(np.array([4.0]))) ** 2
+            acc.backward(loss.sum())
+        # One step of the averaged gradient: grad = 2*(0-4) = -8 -> p = 8
+        np.testing.assert_allclose(p.data, [8.0])
+
+    def test_gradient_accumulator_flush(self):
+        p = Parameter(np.zeros(1))
+        opt = SGD([p], lr=1.0)
+        acc = GradientAccumulator(opt, accumulate=10, max_grad_norm=None)
+        acc.backward(((p - Tensor(np.array([10.0]))) ** 2).sum())
+        np.testing.assert_allclose(p.data, [0.0])  # not yet applied
+        acc.flush()
+        assert p.data[0] != 0.0
+
+
+class TestSerialization:
+    def test_save_load_roundtrip(self, tmp_path):
+        a = TinyNet(np.random.default_rng(1))
+        b = TinyNet(np.random.default_rng(2))
+        save_module(a, tmp_path / "model.npz")
+        load_module(b, tmp_path / "model.npz")
+        x = Tensor(RNG.normal(size=(2, 3)))
+        np.testing.assert_allclose(a(x).numpy(), b(x).numpy())
+
+    def test_load_appends_suffix(self, tmp_path):
+        a = TinyNet()
+        save_module(a, tmp_path / "model")
+        load_module(a, tmp_path / "model")

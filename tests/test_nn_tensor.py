@@ -1,0 +1,206 @@
+"""Unit and property tests for the autograd engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import Tensor, concat, is_grad_enabled, no_grad, stack
+
+from .helpers import check_gradient
+
+RNG = np.random.default_rng(7)
+
+
+def small_arrays(min_dims: int = 1, max_dims: int = 2):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=hnp.array_shapes(min_dims=min_dims, max_dims=max_dims,
+                               min_side=1, max_side=4),
+        elements=st.floats(-3.0, 3.0, allow_nan=False, width=64),
+    )
+
+
+class TestBasics:
+    def test_construction_from_list(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3,)
+        assert not t.requires_grad
+
+    def test_item_and_len(self):
+        assert Tensor(5.0).item() == 5.0
+        assert len(Tensor([1.0, 2.0])) == 2
+
+    def test_detach_breaks_graph(self):
+        t = Tensor([1.0], requires_grad=True)
+        d = (t * 2.0).detach()
+        assert not d.requires_grad
+
+    def test_backward_on_non_scalar_requires_grad_arg(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2.0).backward()
+
+    def test_backward_without_grad_flag_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_no_grad_context(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            t = Tensor([1.0], requires_grad=True)
+            out = t * 2.0
+            assert not out.requires_grad
+        assert is_grad_enabled()
+
+    def test_grad_accumulates_across_uses(self):
+        t = Tensor([2.0], requires_grad=True)
+        out = (t * 3.0 + t * 4.0).sum()
+        out.backward()
+        np.testing.assert_allclose(t.grad, [7.0])
+
+
+class TestForwardValues:
+    def test_add_broadcast(self):
+        a = Tensor(np.ones((2, 3)))
+        b = Tensor(np.arange(3.0))
+        np.testing.assert_allclose(
+            (a + b).numpy(), np.tile(1.0 + np.arange(3.0), (2, 1)))
+
+    def test_matmul_matrix_vector(self):
+        m = Tensor(np.eye(3) * 2.0)
+        v = Tensor(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose((m @ v).numpy(), [2.0, 4.0, 6.0])
+
+    def test_softmax_sums_to_one(self):
+        x = Tensor(RNG.normal(size=(4, 5)))
+        s = x.softmax(axis=1).numpy()
+        np.testing.assert_allclose(s.sum(axis=1), np.ones(4))
+        assert (s > 0).all()
+
+    def test_softmax_stable_for_large_inputs(self):
+        x = Tensor(np.array([[1000.0, 1001.0]]))
+        s = x.softmax(axis=1).numpy()
+        assert np.isfinite(s).all()
+
+    def test_mean_matches_numpy(self):
+        x = RNG.normal(size=(3, 4))
+        np.testing.assert_allclose(Tensor(x).mean(axis=0).numpy(),
+                                   x.mean(axis=0))
+
+    def test_getitem_slice(self):
+        x = Tensor(np.arange(12.0).reshape(3, 4))
+        np.testing.assert_allclose(x[:, 1:3].numpy(), x.numpy()[:, 1:3])
+
+    def test_reshape_and_swapaxes(self):
+        x = Tensor(np.arange(6.0))
+        assert x.reshape(2, 3).shape == (2, 3)
+        assert x.reshape(2, 3).swapaxes(0, 1).shape == (3, 2)
+
+
+class TestGradients:
+    @pytest.mark.parametrize("op", [
+        lambda t: t + 2.0,
+        lambda t: 2.0 - t,
+        lambda t: t * 3.0,
+        lambda t: t / 2.0,
+        lambda t: -t,
+        lambda t: t**3,
+        lambda t: t.tanh(),
+        lambda t: t.sigmoid(),
+        lambda t: t.relu() * t,  # relu composed to exercise chain
+        lambda t: t.exp(),
+        lambda t: t.softmax(axis=-1),
+        lambda t: t.mean(),
+        lambda t: t.sum(axis=0),
+        lambda t: t.reshape(-1),
+        lambda t: t[1:, :],
+    ])
+    def test_elementwise_ops(self, op):
+        check_gradient(op, RNG.normal(size=(3, 4)))
+
+    def test_log_gradient_positive_domain(self):
+        check_gradient(lambda t: t.log(), RNG.uniform(0.5, 2.0, size=(3, 3)))
+
+    def test_sqrt_gradient(self):
+        check_gradient(lambda t: t.sqrt(), RNG.uniform(0.5, 2.0, size=(4,)))
+
+    def test_matmul_gradient_left(self):
+        w = RNG.normal(size=(4, 2))
+        check_gradient(lambda t: t @ Tensor(w), RNG.normal(size=(3, 4)))
+
+    def test_matmul_gradient_right(self):
+        x = RNG.normal(size=(3, 4))
+        check_gradient(lambda t: Tensor(x) @ t, RNG.normal(size=(4, 2)))
+
+    def test_matmul_gradient_batched(self):
+        w = RNG.normal(size=(4, 2))
+        check_gradient(lambda t: t @ Tensor(w), RNG.normal(size=(2, 3, 4)))
+
+    def test_mul_broadcast_gradient(self):
+        other = RNG.normal(size=(1, 4))
+        check_gradient(lambda t: t * Tensor(other), RNG.normal(size=(3, 4)))
+
+    def test_div_gradient_both_sides(self):
+        denominator = RNG.uniform(0.5, 2.0, size=(3, 4))
+        check_gradient(lambda t: t / Tensor(denominator),
+                       RNG.normal(size=(3, 4)))
+        numerator = RNG.normal(size=(3, 4))
+        check_gradient(lambda t: Tensor(numerator) / t,
+                       RNG.uniform(0.5, 2.0, size=(3, 4)))
+
+    def test_concat_gradient(self):
+        other = RNG.normal(size=(3, 2))
+        check_gradient(lambda t: concat([t, Tensor(other)], axis=1),
+                       RNG.normal(size=(3, 4)))
+
+    def test_stack_gradient(self):
+        other = RNG.normal(size=(3,))
+        check_gradient(lambda t: stack([t, Tensor(other)], axis=0),
+                       RNG.normal(size=(3,)))
+
+    def test_sum_keepdims_gradient(self):
+        check_gradient(lambda t: t.sum(axis=1, keepdims=True),
+                       RNG.normal(size=(3, 4)))
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_arrays())
+    def test_tanh_gradient_property(self, x):
+        check_gradient(lambda t: t.tanh(), x, atol=1e-4)
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_arrays(min_dims=2, max_dims=2))
+    def test_softmax_gradient_property(self, x):
+        check_gradient(lambda t: t.softmax(axis=-1), x, atol=1e-4)
+
+    def test_diamond_graph_gradient(self):
+        # f(x) = sum(tanh(x) * sigmoid(x)) exercises shared subgraphs.
+        check_gradient(lambda t: t.tanh() * t.sigmoid(),
+                       RNG.normal(size=(5,)))
+
+    def test_deep_chain_gradient(self):
+        def chain(t):
+            for _ in range(10):
+                t = (t * 1.1).tanh()
+            return t
+        check_gradient(chain, RNG.normal(size=(4,)))
+
+
+class TestUnbroadcast:
+    def test_broadcast_add_grad_shape(self):
+        a = Tensor(np.zeros((2, 3)), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (2, 3)
+        assert b.grad.shape == (3,)
+        np.testing.assert_allclose(b.grad, [2.0, 2.0, 2.0])
+
+    def test_scalar_broadcast_grad(self):
+        a = Tensor(np.zeros((2, 2)), requires_grad=True)
+        s = Tensor(1.0, requires_grad=True)
+        (a * s).sum().backward()
+        assert s.grad.shape == ()
