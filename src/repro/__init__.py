@@ -19,6 +19,9 @@ Quickstart::
     print(result.pair)
 """
 
+from .errors import (ArtifactCorruptedError, CheckpointCorruptedError,
+                     DetectorUnavailableError, InvalidTrajectoryError,
+                     NotFittedError, NumericalInstabilityError, ReproError)
 from .model import (CandidateTrajectory, GPSPoint, LoadedLabel, MovePoint,
                     StayPoint, TimeInterval, Trajectory)
 from .data import (DatasetConfig, HCTDataset, LabeledSample, POIDatabase,
@@ -26,7 +29,8 @@ from .data import (DatasetConfig, HCTDataset, LabeledSample, POIDatabase,
                    WorldConfig, generate_dataset, make_fleet)
 from .processing import (CandidateGenerator, NoiseFilter,
                          ProcessedTrajectory, RawTrajectoryProcessor,
-                         StayPointExtractor)
+                         StayPointExtractor, sanitize_trajectory,
+                         trajectory_from_raw)
 from .features import (CandidateFeaturizer, FeatureConfig, FeatureExtractor,
                        ZScoreNormalizer)
 from .encoding import (AutoencoderTrainer, AutoencoderTrainingConfig,
@@ -35,8 +39,8 @@ from .detection import (DetectorSample, DetectorTrainer,
                         DetectorTrainingConfig, GroupDetector,
                         IndependentDetector)
 from .baselines import SPNNDetector, SPRDetector
-from .pipeline import (DetectionResult, FitReport, LEAD, LEADConfig,
-                       VARIANT_NAMES, variant_config)
+from .pipeline import (DetectionProvenance, DetectionResult, FitReport,
+                       LEAD, LEADConfig, VARIANT_NAMES, variant_config)
 from .eval import (DetectionRecord, accuracy, accuracy_by_bucket,
                    evaluate_detector, prepare_test_set)
 from .analysis import (Waybill, audit_detection, find_unregistered_sites,
@@ -59,8 +63,12 @@ __all__ = [
     "GroupDetector", "IndependentDetector", "DetectorSample",
     "DetectorTrainer", "DetectorTrainingConfig",
     "SPRDetector", "SPNNDetector",
-    "LEAD", "LEADConfig", "DetectionResult", "FitReport",
-    "VARIANT_NAMES", "variant_config",
+    "LEAD", "LEADConfig", "DetectionResult", "DetectionProvenance",
+    "FitReport", "VARIANT_NAMES", "variant_config",
+    "ReproError", "ArtifactCorruptedError", "CheckpointCorruptedError",
+    "NotFittedError", "InvalidTrajectoryError", "DetectorUnavailableError",
+    "NumericalInstabilityError",
+    "sanitize_trajectory", "trajectory_from_raw",
     "DetectionRecord", "accuracy", "accuracy_by_bucket",
     "evaluate_detector", "prepare_test_set",
     "Waybill", "waybill_from_detection", "audit_detection",

@@ -6,19 +6,23 @@ Subcommands::
     python -m repro.cli train    --data data.json.gz --out model/
     python -m repro.cli detect   --data data.json.gz --model model/ --index 0
     python -m repro.cli evaluate --data data.json.gz --model model/
+    python -m repro.cli verify   --model model/
     python -m repro.cli tables   --scale small
 
 ``generate``/``train``/``detect``/``evaluate`` operate on explicit files;
-``tables`` drives the cached experiment harness (the same artifacts the
-benchmarks use).
+``verify`` integrity-checks a saved model directory against its
+manifest; ``tables`` drives the cached experiment harness (the same
+artifacts the benchmarks use).
+
+Typed failures (:mod:`repro.errors`) are rendered as one-line messages
+with exit code 2 instead of tracebacks; ``--traceback`` restores the
+raw exception for debugging.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-
-import numpy as np
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -47,10 +51,28 @@ def _cmd_train(args: argparse.Namespace) -> int:
     train, _, _ = dataset.split_by_truck((8, 1, 1), seed=args.seed)
     world = _world_for_seed(args.seed)
     lead = LEAD(world.pois, LEADConfig(seed=args.seed))
-    report = lead.fit(train.samples, verbose=True)
+    checkpoint_dir = args.checkpoint_dir
+    report = lead.fit(train.samples, verbose=True,
+                      checkpoint_dir=checkpoint_dir)
     lead.save(args.out)
     print(f"trained on {report.num_trajectories_used} trajectories; "
           f"weights saved to {args.out}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .errors import ArtifactCorruptedError
+    from .io import verify_manifest
+    try:
+        manifest = verify_manifest(args.model, required=True)
+    except ArtifactCorruptedError as exc:
+        print(f"CORRUPT  {exc.path}: {exc.reason}")
+        return 2
+    for name, entry in sorted(manifest.files.items()):
+        print(f"ok  {name}  sha256={str(entry['sha256'])[:12]}…  "
+              f"{entry['size']} bytes")
+    print(f"{len(manifest.files)} artifacts verified ({manifest.kind}, "
+          f"schema v{manifest.schema})")
     return 0
 
 
@@ -98,7 +120,8 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 def _cmd_tables(args: argparse.Namespace) -> int:
     from .experiments import Experiment, get_experiment_config
     from .eval import format_accuracy_table, format_timing_table
-    experiment = Experiment(get_experiment_config(args.scale))
+    experiment = Experiment(get_experiment_config(args.scale),
+                            retrain_if_corrupt=args.retrain_if_corrupt)
     print(format_accuracy_table(experiment.table3(), "Table III"))
     print()
     print(format_accuracy_table(experiment.table4(), "Table IV"))
@@ -122,7 +145,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--data", required=True)
     p.add_argument("--out", required=True)
     p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--checkpoint-dir", default=None,
+                   help="checkpoint every epoch here; rerunning the same "
+                        "command after a crash resumes training")
     p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser("verify",
+                       help="integrity-check a saved model directory")
+    p.add_argument("--model", required=True)
+    p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser("detect", help="detect one trajectory's loaded part")
     p.add_argument("--data", required=True)
@@ -140,14 +171,28 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("tables", help="print the paper's tables")
     p.add_argument("--scale", default="small",
                    choices=["tiny", "small", "default"])
+    p.add_argument("--retrain-if-corrupt", action="store_true",
+                   help="discard and retrain artifacts that fail "
+                        "integrity checks instead of aborting")
     p.set_defaults(func=_cmd_tables)
+
+    parser.add_argument("--traceback", action="store_true",
+                        help="show full tracebacks for typed errors")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    from .errors import ReproError
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ReproError, FileNotFoundError) as exc:
+        if getattr(args, "traceback", False):
+            raise
+        kind = type(exc).__name__
+        print(f"error ({kind}): {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -18,8 +18,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..encoding import HierarchicalAutoencoder
-from ..nn import (Adam, EarlyStopping, TrainingHistory, bce_loss,
-                  clip_grad_norm, concat, kld_loss)
+from ..nn import (Adam, CheckpointManager, EarlyStopping, TrainingHistory,
+                  bce_loss, clip_grad_norm, concat, kld_loss)
 from .detectors import GroupDetector, IndependentDetector
 from .grouping import backward_index_maps, forward_index_maps
 from .labels import smooth_label
@@ -75,9 +75,24 @@ class JointDetectorTrainer:
             params.extend(self.autoencoder.parameters())
         return params
 
+    def _checkpoint_modules(self):
+        """Named live modules, as stored in a training checkpoint."""
+        named = {"autoencoder": self.autoencoder, "forward": self.forward,
+                 "backward": self.backward, "independent": self.independent}
+        return {name: module for name, module in named.items()
+                if module is not None}
+
     def fit(self, specs: list[TrajectorySpec],
-            verbose: bool = False) -> list[TrainingHistory]:
-        """Train; returns per-detector loss histories (paper Fig. 10)."""
+            verbose: bool = False,
+            checkpoint: CheckpointManager | None = None
+            ) -> list[TrainingHistory]:
+        """Train; returns per-detector loss histories (paper Fig. 10).
+
+        With ``checkpoint``, every epoch persists the detectors (and the
+        fine-tuned compressor), Adam moments, RNG, early stopping, and
+        the loss histories, so a killed ``fit()`` resumes deterministically
+        at the next epoch.
+        """
         if not specs:
             raise ValueError("no training samples")
         cfg = self.config
@@ -86,11 +101,22 @@ class JointDetectorTrainer:
                          weight_decay=cfg.weight_decay)
         stopper = EarlyStopping(patience=cfg.patience)
         histories = self._make_histories()
+        start_epoch = 0
+        if checkpoint is not None:
+            state = checkpoint.load()
+            if state is not None:
+                start_epoch = checkpoint.restore(
+                    state, modules=self._checkpoint_modules(),
+                    optimizer=optimizer, rng=rng, stopper=stopper)
+                if len(state.histories) == len(histories):
+                    histories = state.histories
         modules = [m for m in (self.autoencoder, self.forward, self.backward,
                                self.independent) if m is not None]
         for module in modules:
             module.train()
-        for epoch in range(cfg.epochs):
+        for epoch in range(start_epoch, cfg.epochs):
+            if stopper.should_stop:
+                break
             order = rng.permutation(len(specs))
             totals = np.zeros(len(histories))
             for start in range(0, len(order), cfg.batch_size):
@@ -112,10 +138,18 @@ class JointDetectorTrainer:
                 rendered = ", ".join(
                     f"{h.name}={h.final_loss:.4f}" for h in histories)
                 print(f"[joint] epoch {epoch}: {rendered}")
-            if stopper.update(float(totals.sum()) / len(order)):
+            should_stop = stopper.update(float(totals.sum()) / len(order))
+            if checkpoint is not None:
+                checkpoint.save(epoch=epoch,
+                                modules=self._checkpoint_modules(),
+                                optimizer=optimizer, rng=rng,
+                                stopper=stopper, histories=list(histories))
+            if should_stop:
                 break
         for module in modules:
             module.eval()
+        if checkpoint is not None:
+            checkpoint.clear()
         return histories
 
     def _make_histories(self) -> list[TrainingHistory]:

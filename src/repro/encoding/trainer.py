@@ -15,7 +15,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..features import CandidateFeatures
-from ..nn import Adam, EarlyStopping, TrainingHistory, clip_grad_norm
+from ..nn import (Adam, CheckpointManager, EarlyStopping, TrainingHistory,
+                  clip_grad_norm)
 from .autoencoder import HierarchicalAutoencoder
 
 __all__ = ["AutoencoderTrainer", "AutoencoderTrainingConfig"]
@@ -51,10 +52,17 @@ class AutoencoderTrainer:
         self.config = config or AutoencoderTrainingConfig()
 
     def fit(self, samples: list[CandidateFeatures],
-            verbose: bool = False) -> TrainingHistory:
+            verbose: bool = False,
+            checkpoint: CheckpointManager | None = None) -> TrainingHistory:
         """Train on (shuffled) candidate feature sequences.
 
         Returns the per-epoch loss history (used for the paper's Fig. 9).
+
+        When ``checkpoint`` is given, the full training state (weights,
+        Adam moments, RNG, early-stopping counters, history) is saved
+        after every epoch, and a previously saved state is restored
+        first — a killed ``fit()`` resumes at the next epoch and ends
+        bit-for-bit identical to an uninterrupted run.
         """
         if not samples:
             raise ValueError("no training samples")
@@ -63,8 +71,19 @@ class AutoencoderTrainer:
         optimizer = Adam(self.model.parameters(), lr=cfg.learning_rate)
         stopper = EarlyStopping(patience=cfg.patience)
         history = TrainingHistory(name="hierarchical-autoencoder")
+        start_epoch = 0
+        if checkpoint is not None:
+            state = checkpoint.load()
+            if state is not None:
+                start_epoch = checkpoint.restore(
+                    state, modules={"model": self.model},
+                    optimizer=optimizer, rng=rng, stopper=stopper)
+                if state.histories:
+                    history = state.histories[0]
         self.model.train()
-        for epoch in range(cfg.epochs):
+        for epoch in range(start_epoch, cfg.epochs):
+            if stopper.should_stop:
+                break
             order = rng.permutation(len(samples))
             if cfg.max_samples_per_epoch is not None:
                 order = order[:cfg.max_samples_per_epoch]
@@ -84,7 +103,15 @@ class AutoencoderTrainer:
             history.record(epoch_loss)
             if verbose:
                 print(f"[autoencoder] epoch {epoch}: mse={epoch_loss:.5f}")
-            if stopper.update(epoch_loss):
+            should_stop = stopper.update(epoch_loss)
+            if checkpoint is not None:
+                checkpoint.save(epoch=epoch,
+                                modules={"model": self.model},
+                                optimizer=optimizer, rng=rng,
+                                stopper=stopper, histories=[history])
+            if should_stop:
                 break
         self.model.eval()
+        if checkpoint is not None:
+            checkpoint.clear()
         return history

@@ -1,11 +1,18 @@
-"""Serialization helpers for cached experiment artifacts."""
+"""Serialization helpers for cached experiment artifacts.
+
+All writes are atomic (a crash never leaves a truncated cache file) and
+all reads surface damage as a typed
+:class:`~repro.errors.ArtifactCorruptedError` so the experiment runner
+can decide to retrain/re-evaluate instead of dying inside ``json``.
+"""
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
+from ..errors import ArtifactCorruptedError
 from ..eval import DetectionRecord
+from ..io import atomic_write_json, load_checked_json
 from ..nn import TrainingHistory
 
 __all__ = ["save_records", "load_records", "save_histories",
@@ -13,13 +20,13 @@ __all__ = ["save_records", "load_records", "save_histories",
 
 
 def save_json(path: Path, payload: object) -> Path:
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload))
-    return path
+    """Atomically write a JSON artifact."""
+    return atomic_write_json(path, payload)
 
 
 def load_json(path: Path) -> object:
-    return json.loads(path.read_text())
+    """Read a JSON artifact; damage raises ``ArtifactCorruptedError``."""
+    return load_checked_json(path)
 
 
 def save_records(path: Path, records: list[DetectionRecord]) -> Path:
@@ -35,15 +42,20 @@ def save_records(path: Path, records: list[DetectionRecord]) -> Path:
 
 
 def load_records(path: Path) -> list[DetectionRecord]:
-    return [
-        DetectionRecord(
-            num_stay_points=int(r["num_stay_points"]),
-            true_pair=tuple(r["true_pair"]),
-            detected_pair=tuple(r["detected_pair"]),
-            inference_time_s=float(r["inference_time_s"]),
-        )
-        for r in load_json(path)
-    ]
+    payload = load_json(path)
+    try:
+        return [
+            DetectionRecord(
+                num_stay_points=int(r["num_stay_points"]),
+                true_pair=tuple(r["true_pair"]),
+                detected_pair=tuple(r["detected_pair"]),
+                inference_time_s=float(r["inference_time_s"]),
+            )
+            for r in payload
+        ]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ArtifactCorruptedError(
+            path, f"malformed detection records: {exc}") from exc
 
 
 def save_histories(path: Path, histories: list[TrainingHistory]) -> Path:
@@ -51,4 +63,9 @@ def save_histories(path: Path, histories: list[TrainingHistory]) -> Path:
 
 
 def load_histories(path: Path) -> list[TrainingHistory]:
-    return [TrainingHistory.from_dict(h) for h in load_json(path)]
+    payload = load_json(path)
+    try:
+        return [TrainingHistory.from_dict(h) for h in payload]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ArtifactCorruptedError(
+            path, f"malformed training histories: {exc}") from exc

@@ -16,20 +16,19 @@ Variant economics on one CPU core (see DESIGN.md):
 
 from __future__ import annotations
 
-import json
+import shutil
 from pathlib import Path
-
-import numpy as np
 
 from ..baselines import SPNNDetector, SPNNTrainingConfig, SPRDetector
 from ..data import HCTDataset, SyntheticWorld, generate_dataset
+from ..errors import ArtifactCorruptedError
 from ..eval import DetectionRecord, evaluate_detector, prepare_test_set
 from ..features import ZScoreNormalizer
 from ..nn import TrainingHistory, load_module, save_module
 from ..pipeline import LEAD, variant_config
 from ..processing import ProcessedTrajectory
-from .artifacts import (load_histories, load_json, load_records,
-                        save_histories, save_json, save_records)
+from .artifacts import (load_histories, load_records, save_histories,
+                        save_records)
 from .config import ExperimentConfig, get_experiment_config
 
 __all__ = ["Experiment", "get_experiment_config"]
@@ -41,8 +40,12 @@ _INFERENCE_VARIANTS = {"LEAD-NoFor": "backward", "LEAD-NoBac": "forward"}
 class Experiment:
     """Owns a world, a dataset split, and the artifact cache for a scale."""
 
-    def __init__(self, config: ExperimentConfig | None = None) -> None:
+    def __init__(self, config: ExperimentConfig | None = None,
+                 retrain_if_corrupt: bool = False) -> None:
         self.config = config or get_experiment_config()
+        #: Default policy when a cached artifact fails integrity checks:
+        #: raise (False) or discard-and-retrain (True).
+        self.retrain_if_corrupt = retrain_if_corrupt
         self.cache = self.config.cache_dir
         self.cache.mkdir(parents=True, exist_ok=True)
         self.world = SyntheticWorld(self.config.dataset.world)
@@ -59,7 +62,12 @@ class Experiment:
         if self._dataset is None:
             path = self.cache / "dataset.json.gz"
             if path.exists():
-                self._dataset = HCTDataset.load(path)
+                try:
+                    self._dataset = HCTDataset.load(path)
+                except (OSError, ValueError, KeyError, EOFError) as exc:
+                    raise ArtifactCorruptedError(
+                        path, f"cached dataset unreadable: {exc}; delete "
+                        "it to regenerate") from exc
             else:
                 self._dataset = generate_dataset(self.config.dataset,
                                                  world=self.world)
@@ -76,25 +84,46 @@ class Experiment:
     # ------------------------------------------------------------------
     # LEAD variants
     # ------------------------------------------------------------------
-    def lead_variant(self, name: str = "LEAD", verbose: bool = False) -> LEAD:
-        """A trained LEAD variant, loading cached weights when available."""
+    def lead_variant(self, name: str = "LEAD", verbose: bool = False,
+                     retrain_if_corrupt: bool | None = None) -> LEAD:
+        """A trained LEAD variant, loading cached weights when available.
+
+        Cached weights are checksum-verified; a damaged artifact raises
+        :class:`ArtifactCorruptedError` naming the broken file, or — with
+        ``retrain_if_corrupt`` — is discarded and retrained.  Training
+        itself checkpoints every epoch under ``<cache>/checkpoints/``,
+        so a crashed run retrains only the epochs it never finished.
+        """
+        if retrain_if_corrupt is None:
+            retrain_if_corrupt = self.retrain_if_corrupt
         if name in _INFERENCE_VARIANTS:
-            return self.lead_variant("LEAD", verbose=verbose)
+            return self.lead_variant("LEAD", verbose=verbose,
+                                     retrain_if_corrupt=retrain_if_corrupt)
         if name in self._leads:
             return self._leads[name]
         cfg = variant_config(name, self.config.lead)
         model = LEAD(self.world.pois, cfg)
         directory = self.cache / "lead" / name
         if (directory / "state.json").exists():
-            model.load(directory)
-            self._leads[name] = model
-            return model
+            try:
+                model.load(directory)
+            except (ArtifactCorruptedError, FileNotFoundError):
+                if not retrain_if_corrupt:
+                    raise
+                shutil.rmtree(directory, ignore_errors=True)
+                model = LEAD(self.world.pois, cfg)  # discard partial load
+            else:
+                self._leads[name] = model
+                return model
+        checkpoint_dir = self.cache / "checkpoints" / name
         train, _, _ = self.splits
         if name == "LEAD-NoGro":
             self._seed_nogro_from_lead(model, verbose)
-            report = model.fit_detectors_only(train.samples, verbose=verbose)
+            report = model.fit_detectors_only(train.samples, verbose=verbose,
+                                              checkpoint_dir=checkpoint_dir)
         else:
-            report = model.fit(train.samples, verbose=verbose)
+            report = model.fit(train.samples, verbose=verbose,
+                               checkpoint_dir=checkpoint_dir)
         model.save(directory)
         save_histories(directory / "autoencoder_history.json",
                        [report.autoencoder_history])
@@ -155,8 +184,11 @@ class Experiment:
                                seed=self.config.seed))
         path = self.cache / "baselines" / f"sp_{cell}.npz"
         if path.exists():
-            load_module(detector.classifier, path)
-            return detector
+            try:
+                load_module(detector.classifier, path)
+                return detector
+            except ArtifactCorruptedError:
+                path.unlink(missing_ok=True)  # retrain below
         history = detector.fit(self.baseline_training_pairs(),
                                verbose=verbose)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -182,7 +214,12 @@ class Experiment:
         """Evaluation records of one method on the test set (cached)."""
         path = self.cache / "records" / f"{method}.json"
         if path.exists():
-            return load_records(path)
+            try:
+                return load_records(path)
+            except ArtifactCorruptedError:
+                # Records are cheap to regenerate relative to training;
+                # discard the damaged cache entry and re-evaluate.
+                path.unlink(missing_ok=True)
         detect = self._detect_fn(method, verbose)
         records = evaluate_detector(detect, self.test_set())
         save_records(path, records)

@@ -1,0 +1,88 @@
+"""Atomic file writes: tmp file in the same directory + fsync + rename.
+
+POSIX ``rename(2)`` within one filesystem is atomic, so readers observe
+either the complete old file or the complete new file — never a torn
+write.  All writers here funnel through :func:`replace_file`.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["atomic_write_bytes", "atomic_write_text", "atomic_write_json",
+           "atomic_savez", "replace_file"]
+
+
+def replace_file(tmp: Path, target: Path) -> Path:
+    """Atomically move ``tmp`` over ``target`` (same-directory rename)."""
+    os.replace(tmp, target)
+    _fsync_directory(target.parent)
+    return target
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Flush the directory entry so the rename survives a power loss."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Write ``data`` to ``path`` atomically; returns the final path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                    prefix=f".{path.name}.", suffix=".tmp")
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        return replace_file(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def atomic_write_text(path: str | Path, text: str,
+                      encoding: str = "utf-8") -> Path:
+    """Atomically write a text file."""
+    return atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_json(path: str | Path, payload: object, *,
+                      indent: int | None = None) -> Path:
+    """Atomically serialize ``payload`` as JSON."""
+    return atomic_write_text(path, json.dumps(payload, indent=indent))
+
+
+def atomic_savez(path: str | Path, **arrays: np.ndarray) -> Path:
+    """Atomically write an ``.npz`` archive; returns the path written.
+
+    Unlike bare ``np.savez(path)`` — which silently *appends* ``.npz``
+    when the suffix is absent, so the written file need not be the path
+    the caller handed in — this resolves the final path up front
+    (appending ``.npz`` only when missing), serializes to memory, and
+    atomically installs the bytes at exactly that path.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    buffer = io.BytesIO()
+    # Writing to a file object suppresses numpy's suffix appending.
+    np.savez(buffer, **arrays)
+    return atomic_write_bytes(path, buffer.getvalue())

@@ -1,0 +1,146 @@
+"""Schema-versioned artifact manifests and checked loaders.
+
+A manifest (``manifest.json``) lists every artifact file in a directory
+with its SHA-256 digest and size::
+
+    {
+      "schema": 1,
+      "kind": "lead-model",
+      "files": {"autoencoder.npz": {"sha256": "...", "size": 12345}, ...},
+      "meta": {...}
+    }
+
+:func:`verify_manifest` re-hashes each listed file and raises
+:class:`~repro.errors.ArtifactCorruptedError` naming the first file
+whose bytes do not match — a flipped byte becomes a typed, actionable
+error instead of a downstream numpy/json crash.
+"""
+
+from __future__ import annotations
+
+import json
+import zipfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import ArtifactCorruptedError
+from .atomic import atomic_write_json
+from .checksum import sha256_file
+
+__all__ = ["MANIFEST_NAME", "MANIFEST_SCHEMA_VERSION", "ArtifactManifest",
+           "write_manifest", "verify_manifest", "load_checked_json",
+           "load_checked_npz"]
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_SCHEMA_VERSION = 1
+
+
+@dataclass
+class ArtifactManifest:
+    """In-memory form of a directory's ``manifest.json``."""
+
+    kind: str
+    files: dict[str, dict[str, object]] = field(default_factory=dict)
+    meta: dict[str, object] = field(default_factory=dict)
+    schema: int = MANIFEST_SCHEMA_VERSION
+
+    def to_dict(self) -> dict[str, object]:
+        return {"schema": self.schema, "kind": self.kind,
+                "files": self.files, "meta": self.meta}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object],
+                  path: Path) -> "ArtifactManifest":
+        try:
+            schema = int(payload["schema"])  # type: ignore[arg-type]
+            if schema > MANIFEST_SCHEMA_VERSION:
+                raise ArtifactCorruptedError(
+                    path, f"manifest schema {schema} is newer than the "
+                    f"supported version {MANIFEST_SCHEMA_VERSION}")
+            return cls(kind=str(payload.get("kind", "")),
+                       files=dict(payload.get("files", {})),
+                       meta=dict(payload.get("meta", {})),
+                       schema=schema)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ArtifactCorruptedError(
+                path, f"malformed manifest: {exc}") from exc
+
+
+def write_manifest(directory: str | Path, filenames: list[str], *,
+                   kind: str,
+                   meta: dict[str, object] | None = None) -> Path:
+    """Hash ``filenames`` (relative to ``directory``) into a manifest."""
+    directory = Path(directory)
+    files: dict[str, dict[str, object]] = {}
+    for name in sorted(filenames):
+        path = directory / name
+        files[name] = {"sha256": sha256_file(path),
+                       "size": path.stat().st_size}
+    manifest = ArtifactManifest(kind=kind, files=files, meta=meta or {})
+    return atomic_write_json(directory / MANIFEST_NAME, manifest.to_dict(),
+                             indent=2)
+
+
+def verify_manifest(directory: str | Path, *,
+                    required: bool = False) -> ArtifactManifest | None:
+    """Check every file listed in a directory's manifest.
+
+    Returns the parsed manifest, or ``None`` when no manifest exists and
+    ``required`` is false (pre-manifest artifact layouts stay loadable).
+    Raises :class:`ArtifactCorruptedError` on a missing listed file, a
+    size or digest mismatch, or an unparseable manifest.
+    """
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.exists():
+        if required:
+            raise ArtifactCorruptedError(manifest_path, "manifest missing")
+        return None
+    payload = load_checked_json(manifest_path)
+    if not isinstance(payload, dict):
+        raise ArtifactCorruptedError(manifest_path,
+                                     "manifest is not a JSON object")
+    manifest = ArtifactManifest.from_dict(payload, manifest_path)
+    for name, entry in manifest.files.items():
+        path = directory / name
+        if not path.exists():
+            raise ArtifactCorruptedError(
+                path, "listed in manifest but missing on disk")
+        size = path.stat().st_size
+        if int(entry.get("size", -1)) != size:
+            raise ArtifactCorruptedError(
+                path, f"size mismatch: manifest says {entry.get('size')}, "
+                f"found {size}")
+        digest = sha256_file(path)
+        if entry.get("sha256") != digest:
+            raise ArtifactCorruptedError(
+                path, f"checksum mismatch: manifest says "
+                f"{entry.get('sha256')}, file hashes to {digest}")
+    return manifest
+
+
+def load_checked_json(path: str | Path) -> object:
+    """Parse a JSON file, mapping decode failures to a typed error."""
+    path = Path(path)
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ArtifactCorruptedError(path, f"invalid JSON: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        raise ArtifactCorruptedError(path, f"not valid UTF-8: {exc}") from exc
+
+
+def load_checked_npz(path: str | Path) -> dict[str, np.ndarray]:
+    """Load an ``.npz`` archive, mapping corruption to a typed error."""
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            return {name: archive[name] for name in archive.files}
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, OSError, ValueError, KeyError,
+            EOFError) as exc:
+        raise ArtifactCorruptedError(
+            path, f"unreadable npz archive: {exc}") from exc

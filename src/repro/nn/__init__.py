@@ -6,6 +6,7 @@ needs (see DESIGN.md S1-S4).
 """
 
 from .attention import SelfAttentionAggregator, masked_softmax
+from .checkpoint import CheckpointManager, CheckpointState
 from .init import orthogonal, xavier_uniform
 from .layers import Linear, Sequential
 from .losses import bce_loss, kld_loss, mse_loss
@@ -13,7 +14,7 @@ from .module import Module, Parameter
 from .optim import SGD, Adam, Optimizer, clip_grad_norm
 from .rnn import (BiLSTMLayer, GRU, GRUCell, LSTM, LSTMCell, LSTMDecoder,
                   StackedBiLSTM, sequence_mask)
-from .serialization import load_module, save_module
+from .serialization import load_module, module_path, save_module
 from .tensor import Tensor, concat, is_grad_enabled, no_grad, stack
 from .training import EarlyStopping, GradientAccumulator, TrainingHistory
 
@@ -26,5 +27,7 @@ __all__ = [
     "mse_loss", "kld_loss", "bce_loss",
     "Optimizer", "SGD", "Adam", "clip_grad_norm",
     "EarlyStopping", "GradientAccumulator", "TrainingHistory",
-    "save_module", "load_module", "xavier_uniform", "orthogonal",
+    "CheckpointManager", "CheckpointState",
+    "save_module", "load_module", "module_path",
+    "xavier_uniform", "orthogonal",
 ]

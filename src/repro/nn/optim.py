@@ -45,6 +45,39 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, object]:
+        """Snapshot of the optimizer's mutable state (for checkpoints).
+
+        ``arrays`` maps slot names to per-parameter moment arrays and
+        ``scalars`` holds plain numbers; both round-trip through
+        :meth:`load_state_dict` on an optimizer built over the *same*
+        parameter list (same order, same shapes).
+        """
+        return {"scalars": {"lr": self.lr}, "arrays": {}}
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        scalars = state.get("scalars", {})
+        self.lr = float(scalars.get("lr", self.lr))
+        self._load_arrays(state.get("arrays", {}))
+
+    def _load_arrays(self, arrays: dict[str, list[np.ndarray]]) -> None:
+        for name, values in arrays.items():
+            slot = getattr(self, name, None)
+            if slot is None or len(slot) != len(values):
+                raise ValueError(
+                    f"optimizer state slot {name!r} does not match: "
+                    f"expected {len(slot) if slot is not None else 0} "
+                    f"arrays, got {len(values)}")
+            for current, value in zip(slot, values):
+                if current.shape != np.asarray(value).shape:
+                    raise ValueError(
+                        f"optimizer state shape mismatch in {name!r}")
+                current[...] = value
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional classical momentum."""
@@ -65,6 +98,15 @@ class SGD(Optimizer):
                 p.data -= self.lr * v
             else:
                 p.data -= self.lr * p.grad
+
+    def state_dict(self) -> dict[str, object]:
+        return {"scalars": {"lr": self.lr, "momentum": self.momentum},
+                "arrays": {"_velocity": [v.copy() for v in self._velocity]}}
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        super().load_state_dict(state)
+        scalars = state.get("scalars", {})
+        self.momentum = float(scalars.get("momentum", self.momentum))
 
 
 class Adam(Optimizer):
@@ -99,3 +141,23 @@ class Adam(Optimizer):
                 # polluting the adaptive moments.
                 p.data -= self.lr * self.weight_decay * p.data
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict[str, object]:
+        return {
+            "scalars": {"lr": self.lr, "beta1": self.beta1,
+                        "beta2": self.beta2, "eps": self.eps,
+                        "weight_decay": self.weight_decay,
+                        "step_count": self._step_count},
+            "arrays": {"_m": [m.copy() for m in self._m],
+                       "_v": [v.copy() for v in self._v]},
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        super().load_state_dict(state)
+        scalars = state.get("scalars", {})
+        self.beta1 = float(scalars.get("beta1", self.beta1))
+        self.beta2 = float(scalars.get("beta2", self.beta2))
+        self.eps = float(scalars.get("eps", self.eps))
+        self.weight_decay = float(scalars.get("weight_decay",
+                                              self.weight_decay))
+        self._step_count = int(scalars.get("step_count", self._step_count))

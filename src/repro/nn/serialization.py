@@ -1,31 +1,64 @@
-"""Save and load module parameters as ``.npz`` archives."""
+"""Save and load module parameters as ``.npz`` archives.
+
+Writes are atomic (tmp + fsync + rename via :mod:`repro.io`), so a
+crash mid-save never truncates a previously good weight file, and loads
+surface damage as :class:`~repro.errors.ArtifactCorruptedError` instead
+of a raw ``zipfile`` traceback.
+"""
 
 from __future__ import annotations
 
 from pathlib import Path
 
-import numpy as np
-
+from ..errors import ArtifactCorruptedError
+from ..io import atomic_savez, load_checked_npz
 from .module import Module
 
-__all__ = ["save_module", "load_module"]
+__all__ = ["save_module", "load_module", "module_path"]
+
+
+def module_path(path: str | Path) -> Path:
+    """The path ``save_module`` actually writes for ``path``.
+
+    ``.npz`` is appended when absent, mirroring numpy's behaviour but
+    resolved *up front* so save and load agree on one canonical path.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
 
 
 def save_module(module: Module, path: str | Path) -> Path:
-    """Write the module's parameters to ``path`` (``.npz`` appended if absent)."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    state = module.state_dict()
-    np.savez(path, **state)
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    """Atomically write the module's parameters; returns the real path."""
+    target = module_path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    return atomic_savez(target, **module.state_dict())
 
 
 def load_module(module: Module, path: str | Path) -> Module:
-    """Load parameters saved by :func:`save_module` into ``module``."""
-    path = Path(path)
-    if not path.exists() and path.suffix != ".npz":
-        path = path.with_suffix(path.suffix + ".npz")
-    with np.load(path) as archive:
-        state = {name: archive[name] for name in archive.files}
-    module.load_state_dict(state)
+    """Load parameters saved by :func:`save_module` into ``module``.
+
+    Raises ``FileNotFoundError`` naming both candidate paths when
+    neither the given path nor its ``.npz``-suffixed form exists, and
+    :class:`ArtifactCorruptedError` when the archive is damaged or its
+    contents do not match the module's parameters.
+    """
+    given = Path(path)
+    canonical = module_path(given)
+    if given.exists() and given.is_file():
+        target = given
+    elif canonical.exists():
+        target = canonical
+    else:
+        candidates = {str(given), str(canonical)}
+        raise FileNotFoundError(
+            "no saved module found at "
+            + " or ".join(sorted(candidates)))
+    state = load_checked_npz(target)
+    try:
+        module.load_state_dict(state)
+    except (KeyError, ValueError) as exc:
+        raise ArtifactCorruptedError(
+            target, f"state does not match module: {exc}") from exc
     return module

@@ -8,8 +8,10 @@ implements exactly that protocol on top of any optimizer.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
+from ..errors import NumericalInstabilityError
 from .optim import Optimizer, clip_grad_norm
 from .tensor import Tensor
 
@@ -38,7 +40,32 @@ class EarlyStopping:
             self._bad_epochs = 0
         else:
             self._bad_epochs += 1
+        return self.should_stop
+
+    @property
+    def should_stop(self) -> bool:
+        """Whether the stop condition has already been reached."""
         return self._bad_epochs >= self.patience
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, object]:
+        """JSON-safe snapshot for checkpoint/resume."""
+        return {"patience": self.patience, "min_delta": self.min_delta,
+                "best": self.best, "best_epoch": self.best_epoch,
+                "bad_epochs": self._bad_epochs, "epoch": self._epoch}
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        """Restore a snapshot captured by :meth:`state_dict`."""
+        self.patience = int(state["patience"])
+        self.min_delta = float(state["min_delta"])
+        best = state["best"]
+        self.best = None if best is None else float(best)
+        best_epoch = state["best_epoch"]
+        self.best_epoch = None if best_epoch is None else int(best_epoch)
+        self._bad_epochs = int(state["bad_epochs"])
+        self._epoch = int(state["epoch"])
 
 
 class GradientAccumulator:
@@ -50,16 +77,39 @@ class GradientAccumulator:
     """
 
     def __init__(self, optimizer: Optimizer, accumulate: int = 64,
-                 max_grad_norm: float | None = 5.0) -> None:
+                 max_grad_norm: float | None = 5.0,
+                 max_nonfinite: int = 8) -> None:
         if accumulate < 1:
             raise ValueError("accumulate must be >= 1")
+        if max_nonfinite < 0:
+            raise ValueError("max_nonfinite must be >= 0")
         self.optimizer = optimizer
         self.accumulate = accumulate
         self.max_grad_norm = max_grad_norm
+        #: How many NaN/Inf sample losses to tolerate (skipping each)
+        #: before declaring the run numerically unstable.
+        self.max_nonfinite = max_nonfinite
+        self.nonfinite_count = 0
         self._pending = 0
 
     def backward(self, loss: Tensor) -> None:
-        """Backpropagate one sample's loss and step when the window fills."""
+        """Backpropagate one sample's loss and step when the window fills.
+
+        A NaN/Inf loss is *skipped* (its gradient would poison the whole
+        accumulated update) and counted; once more than
+        ``max_nonfinite`` samples have been dropped this raises
+        :class:`~repro.errors.NumericalInstabilityError` — silent
+        divergence is worse than a loud stop.
+        """
+        if not math.isfinite(float(loss.item())):
+            self.nonfinite_count += 1
+            if self.nonfinite_count > self.max_nonfinite:
+                raise NumericalInstabilityError(
+                    f"{self.nonfinite_count} non-finite sample losses "
+                    f"exceed the limit of {self.max_nonfinite}; training "
+                    "has diverged (lower the learning rate or clip "
+                    "harder)")
+            return
         (loss * (1.0 / self.accumulate)).backward()
         self._pending += 1
         if self._pending >= self.accumulate:

@@ -1,7 +1,7 @@
 """LEAD framework facade and ablation variants (DESIGN.md S19)."""
 
 from .config import LEADConfig, VARIANT_NAMES, variant_config
-from .lead import LEAD, DetectionResult, FitReport
+from .lead import LEAD, DetectionProvenance, DetectionResult, FitReport
 
 __all__ = ["LEADConfig", "VARIANT_NAMES", "variant_config",
-           "LEAD", "DetectionResult", "FitReport"]
+           "LEAD", "DetectionProvenance", "DetectionResult", "FitReport"]

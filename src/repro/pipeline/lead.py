@@ -11,11 +11,23 @@ Offline stage:
 
 Online stage: a single forward computation per component detects the
 loaded trajectory of an unseen raw trajectory.
+
+Resilience (beyond the paper): the online stage validates and repairs
+hostile input, and degrades through a tier chain instead of crashing
+when a component is unavailable or numerically unstable::
+
+    both -> forward-only / backward-only -> SP-R white list -> heuristic
+
+Each :class:`DetectionResult` carries a :class:`DetectionProvenance`
+recording which tier answered and what repairs were applied, so a
+caller (or an auditor) can distinguish a full-confidence answer from a
+degraded one.  Persistence is atomic and checksummed (``manifest.json``
+per model directory), and ``fit`` checkpoints every epoch when given a
+``checkpoint_dir`` so a killed run resumes deterministically.
 """
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -28,14 +40,44 @@ from ..detection import (GroupDetector, IndependentDetector,
                          build_backward_group, build_forward_group,
                          index_to_pair, merge_distributions, pair_to_index)
 from ..encoding import (AutoencoderTrainer, HierarchicalAutoencoder)
+from ..errors import (ArtifactCorruptedError, DetectorUnavailableError,
+                      InvalidTrajectoryError, NotFittedError,
+                      NumericalInstabilityError)
 from ..features import (CandidateFeaturizer, FeatureExtractor,
                         ZScoreNormalizer)
+from ..io import (atomic_write_json, load_checked_json, verify_manifest,
+                  write_manifest)
 from ..model import Trajectory
-from ..nn import Tensor, TrainingHistory, load_module, no_grad, save_module
-from ..processing import ProcessedTrajectory
+from ..nn import (CheckpointManager, Tensor, TrainingHistory, load_module,
+                  no_grad, save_module)
+from ..processing import ProcessedTrajectory, sanitize_trajectory
 from .config import LEADConfig
 
-__all__ = ["LEAD", "DetectionResult", "FitReport"]
+__all__ = ["LEAD", "DetectionResult", "DetectionProvenance", "FitReport"]
+
+#: Neural inference tiers in preference order, with the detector
+#: direction each one needs.
+_TIER_DIRECTIONS = (("both", "both"), ("forward-only", "forward"),
+                    ("backward-only", "backward"))
+
+
+@dataclass(frozen=True)
+class DetectionProvenance:
+    """Which tier produced a result and what repairs were applied."""
+
+    tier: str                       # "both" | "independent" |
+    #                                 "forward-only" | "backward-only" |
+    #                                 "sp-r" | "heuristic"
+    sanitized: bool = False         # input fixes were dropped/repaired
+    notes: tuple[str, ...] = ()     # human-readable repair/failure trail
+
+    @property
+    def degraded(self) -> bool:
+        """True when a lower tier than the full detector pair answered."""
+        return self.tier not in ("both", "independent")
+
+
+_FULL_CONFIDENCE = DetectionProvenance(tier="both")
 
 
 @dataclass(frozen=True)
@@ -45,6 +87,7 @@ class DetectionResult:
     pair: tuple[int, int]               # detected (i', j')
     distribution: np.ndarray            # merged probabilities, enum order
     processed: ProcessedTrajectory
+    provenance: DetectionProvenance = _FULL_CONFIDENCE
 
     @property
     def candidate(self):
@@ -91,29 +134,46 @@ class LEAD:
             self.forward_detector = None
             self.backward_detector = None
             self.independent_detector = IndependentDetector(cvec_dim, rng)
+        #: Optional rule-based fallback (an object with a
+        #: ``detect(processed) -> (i', j')`` method, e.g. SPRDetector)
+        #: consulted when every neural tier fails.
+        self.fallback_detector = None
         self._fitted = False
+        self._load_notes: tuple[str, ...] = ()
 
     # ------------------------------------------------------------------
     # Offline stage
     # ------------------------------------------------------------------
     def fit(self, training: list[LabeledSample],
-            verbose: bool = False) -> FitReport:
-        """Run the full offline stage on labelled raw trajectories."""
+            verbose: bool = False,
+            checkpoint_dir: str | Path | None = None) -> FitReport:
+        """Run the full offline stage on labelled raw trajectories.
+
+        With ``checkpoint_dir``, both training loops persist their full
+        state after every epoch; re-calling ``fit`` with the same
+        directory after a crash retrains only the epochs that were never
+        completed and yields bit-for-bit the same model.
+        """
         processed = self._process_training(training)
         if not processed:
-            raise ValueError("no usable training trajectories")
+            raise InvalidTrajectoryError("no usable training trajectories")
         self.featurizer.fit_normalizer([p.cleaned for p, _ in processed])
+        ae_ckpt, det_ckpt = self._checkpoints(checkpoint_dir)
         report = FitReport(
-            autoencoder_history=self._fit_autoencoder(processed, verbose),
+            autoencoder_history=self._fit_autoencoder(processed, verbose,
+                                                      ae_ckpt),
             num_trajectories_used=len(processed))
+        report.num_autoencoder_samples = self._last_report_samples
         detector_specs = self._build_detector_specs(processed)
         report.detector_histories = self._fit_detectors(detector_specs,
-                                                        verbose)
+                                                        verbose, det_ckpt)
         self._fitted = True
         return report
 
     def fit_detectors_only(self, training: list[LabeledSample],
-                           verbose: bool = False) -> FitReport:
+                           verbose: bool = False,
+                           checkpoint_dir: str | Path | None = None
+                           ) -> FitReport:
         """Train only the detection component.
 
         Requires the normalizer and autoencoder weights to be in place
@@ -122,17 +182,29 @@ class LEAD:
         detector differs.
         """
         if not self.featurizer.normalizer.fitted:
-            raise RuntimeError("normalizer must be fitted/loaded first")
+            raise NotFittedError("normalizer must be fitted/loaded first")
         processed = self._process_training(training)
         if not processed:
-            raise ValueError("no usable training trajectories")
+            raise InvalidTrajectoryError("no usable training trajectories")
+        _, det_ckpt = self._checkpoints(checkpoint_dir)
         specs = self._build_detector_specs(processed)
         report = FitReport(
             autoencoder_history=TrainingHistory(name="(reused)"),
             num_trajectories_used=len(processed))
-        report.detector_histories = self._fit_detectors(specs, verbose)
+        report.detector_histories = self._fit_detectors(specs, verbose,
+                                                        det_ckpt)
         self._fitted = True
         return report
+
+    @staticmethod
+    def _checkpoints(checkpoint_dir: str | Path | None
+                     ) -> tuple[CheckpointManager | None,
+                                CheckpointManager | None]:
+        if checkpoint_dir is None:
+            return None, None
+        directory = Path(checkpoint_dir)
+        return (CheckpointManager(directory, "autoencoder"),
+                CheckpointManager(directory, "detectors"))
 
     def _process_training(self, training: list[LabeledSample]
                           ) -> list[tuple[ProcessedTrajectory,
@@ -146,7 +218,9 @@ class LEAD:
             out.append((processed, processed.label_pair))
         return out
 
-    def _fit_autoencoder(self, processed, verbose: bool) -> TrainingHistory:
+    def _fit_autoencoder(self, processed, verbose: bool,
+                         checkpoint: CheckpointManager | None = None
+                         ) -> TrainingHistory:
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
         features = []
@@ -157,7 +231,8 @@ class LEAD:
         if cfg.max_autoencoder_samples is not None:
             features = features[:cfg.max_autoencoder_samples]
         trainer = AutoencoderTrainer(self.autoencoder, cfg.encoder_training)
-        history = trainer.fit(features, verbose=verbose)
+        history = trainer.fit(features, verbose=verbose,
+                              checkpoint=checkpoint)
         self._last_report_samples = len(features)
         return history
 
@@ -187,14 +262,15 @@ class LEAD:
                                            pair)))
         return specs
 
-    def _fit_detectors(self, specs: list[TrajectorySpec],
-                       verbose: bool) -> list[TrainingHistory]:
+    def _fit_detectors(self, specs: list[TrajectorySpec], verbose: bool,
+                       checkpoint: CheckpointManager | None = None
+                       ) -> list[TrainingHistory]:
         cfg = self.config
         trainer = JointDetectorTrainer(
             self.autoencoder, self.forward_detector, self.backward_detector,
             self.independent_detector, cfg.detector_training,
             finetune_encoder=cfg.finetune_encoder)
-        return trainer.fit(specs, verbose=verbose)
+        return trainer.fit(specs, verbose=verbose, checkpoint=checkpoint)
 
     # ------------------------------------------------------------------
     # Online stage
@@ -207,6 +283,10 @@ class LEAD:
         "backward"), realizing LEAD-NoBac / LEAD-NoFor: the detectors are
         trained separately (paper §V-B), so dropping one at inference is
         exactly the paper's ablation.
+
+        Raises :class:`DetectorUnavailableError` when ``direction``
+        selects no live detector and :class:`NumericalInstabilityError`
+        when the merged distribution is not finite.
         """
         self._require_fitted()
         cvecs = self.encode_candidates(processed)
@@ -214,7 +294,14 @@ class LEAD:
         with no_grad():
             if self.independent_detector is not None:
                 probs = self.independent_detector(Tensor(cvecs)).numpy()
-                return merge_distributions(probs)
+                return self._checked(merge_distributions(probs))
+            if direction == "both" and (self.forward_detector is None
+                                        or self.backward_detector is None):
+                missing = ("forward" if self.forward_detector is None
+                           else "backward")
+                raise DetectorUnavailableError(
+                    f"direction 'both' requires both detectors; the "
+                    f"{missing} detector is unavailable")
             forward = backward = None
             if self.forward_detector is not None and direction in (
                     "both", "forward"):
@@ -225,67 +312,200 @@ class LEAD:
                 backward = self.backward_detector(
                     build_backward_group(cvecs, n)).numpy()
         if forward is None and backward is None:
-            raise ValueError(
+            raise DetectorUnavailableError(
                 f"direction {direction!r} selects no available detector")
         if forward is None:
-            return merge_distributions(backward)
-        return merge_distributions(forward, backward)
+            return self._checked(merge_distributions(backward))
+        return self._checked(merge_distributions(forward, backward))
+
+    @staticmethod
+    def _checked(distribution: np.ndarray) -> np.ndarray:
+        if not np.isfinite(distribution).all():
+            raise NumericalInstabilityError(
+                "detector produced a non-finite probability distribution")
+        return distribution
 
     def detect_processed(self, processed: ProcessedTrajectory,
                          direction: str = "both") -> DetectionResult:
+        """Strict single-tier detection (raises on failure).
+
+        The evaluation harness uses this directly so ablation numbers
+        are never silently polluted by fallback answers; the production
+        entry point :meth:`detect` wraps it with the degradation chain.
+        """
         distribution = self.predict_distribution(processed, direction)
         pair = index_to_pair(processed.num_stay_points,
                              int(np.argmax(distribution)))
-        return DetectionResult(pair, distribution, processed)
+        tier = {"both": "both", "forward": "forward-only",
+                "backward": "backward-only"}.get(direction, direction)
+        if self.independent_detector is not None:
+            tier = "independent"
+        return DetectionResult(pair, distribution, processed,
+                               DetectionProvenance(tier=tier))
 
     def detect(self, trajectory: Trajectory) -> DetectionResult | None:
-        """Full online pipeline on a raw trajectory.
+        """Full online pipeline on a raw trajectory, never crashing.
 
-        Returns ``None`` when too few stay points were extracted for any
-        candidate to exist.
+        The input is validated and repaired (non-finite fixes dropped),
+        then detection walks the tier chain until one answers.  Returns
+        ``None`` only when no candidate exists — too few stay points, or
+        the trajectory was unsalvageable.  Raises only
+        :class:`NotFittedError` (API misuse, not input hostility).
         """
-        processed = self.processor.process(trajectory)
+        self._require_fitted()
+        notes: list[str] = []
+        try:
+            trajectory, sanitize_notes = sanitize_trajectory(trajectory)
+        except InvalidTrajectoryError as exc:
+            # Unsalvageable input: report "no detection" like too-few
+            # stay points rather than crashing a serving loop.
+            del exc
+            return None
+        notes.extend(sanitize_notes)
+        try:
+            processed = self.processor.process(trajectory)
+        except (ValueError, ArithmeticError):
+            return None
         if processed is None:
             return None
-        return self.detect_processed(processed)
+        return self._detect_with_degradation(processed, notes)
+
+    def _detect_with_degradation(self, processed: ProcessedTrajectory,
+                                 notes: list[str]) -> DetectionResult:
+        """Walk the tier chain; always returns a provenance-tagged result."""
+        sanitized = bool(notes)
+        if self.independent_detector is not None:
+            tiers: tuple[tuple[str, str], ...] = (("independent", "both"),)
+        else:
+            tiers = _TIER_DIRECTIONS
+        for tier, direction in tiers:
+            try:
+                distribution = self.predict_distribution(processed,
+                                                         direction)
+            except (DetectorUnavailableError,
+                    NumericalInstabilityError) as exc:
+                notes = notes + [f"tier {tier!r} failed: {exc}"]
+                continue
+            pair = index_to_pair(processed.num_stay_points,
+                                 int(np.argmax(distribution)))
+            return DetectionResult(
+                pair, distribution, processed,
+                DetectionProvenance(tier=tier, sanitized=sanitized,
+                                    notes=tuple(notes)))
+        return self._fallback_result(processed, notes, sanitized)
+
+    def _fallback_result(self, processed: ProcessedTrajectory,
+                         notes: list[str],
+                         sanitized: bool) -> DetectionResult:
+        """Last-resort tiers: the SP-R white list, then a fixed heuristic."""
+        n = processed.num_stay_points
+        uniform = np.full(processed.num_candidates,
+                          1.0 / processed.num_candidates)
+        if self.fallback_detector is not None:
+            try:
+                pair = tuple(self.fallback_detector.detect(processed))
+                distribution = uniform.copy()
+                distribution[processed.candidate_index(pair)] = 1.0
+                return DetectionResult(
+                    pair, distribution, processed,
+                    DetectionProvenance(tier="sp-r", sanitized=sanitized,
+                                        notes=tuple(notes)))
+            except (ValueError, KeyError, ArithmeticError) as exc:
+                notes = notes + [f"tier 'sp-r' failed: {exc}"]
+        # Terminal heuristic: the first->last candidate, the single most
+        # common loaded pattern in a one-day haul (depot out, depot back).
+        pair = (1, n)
+        distribution = uniform.copy()
+        distribution[processed.candidate_index(pair)] = 1.0
+        return DetectionResult(
+            pair, distribution, processed,
+            DetectionProvenance(tier="heuristic", sanitized=sanitized,
+                                notes=tuple(notes)))
 
     def _require_fitted(self) -> None:
         if not self._fitted:
-            raise RuntimeError("LEAD is not fitted; call fit() first")
+            raise NotFittedError("LEAD is not fitted; call fit() first")
 
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
     def save(self, directory: str | Path) -> Path:
-        """Persist trained weights and the normalizer."""
+        """Persist trained weights and the normalizer.
+
+        Every file is written atomically and a checksummed
+        ``manifest.json`` covers the directory, so :meth:`load` detects
+        torn or corrupted artifacts as a typed error.
+        """
         self._require_fitted()
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
-        save_module(self.autoencoder, directory / "autoencoder.npz")
-        if self.forward_detector is not None:
-            save_module(self.forward_detector, directory / "forward.npz")
-        if self.backward_detector is not None:
-            save_module(self.backward_detector, directory / "backward.npz")
-        if self.independent_detector is not None:
-            save_module(self.independent_detector,
-                        directory / "independent.npz")
+        written: list[str] = []
+        for name, module in self._detector_modules().items():
+            save_module(module, directory / f"{name}.npz")
+            written.append(f"{name}.npz")
         payload = {"normalizer": self.featurizer.normalizer.to_dict()}
-        (directory / "state.json").write_text(json.dumps(payload))
+        atomic_write_json(directory / "state.json", payload)
+        written.append("state.json")
+        write_manifest(directory, written, kind="lead-model",
+                       meta={"seed": self.config.seed,
+                             "detectors": sorted(self._detector_modules())})
         return directory
 
-    def load(self, directory: str | Path) -> "LEAD":
-        """Load weights saved by :meth:`save` (config must match)."""
-        directory = Path(directory)
-        load_module(self.autoencoder, directory / "autoencoder.npz")
+    def _detector_modules(self) -> dict[str, object]:
+        modules: dict[str, object] = {"autoencoder": self.autoencoder}
         if self.forward_detector is not None:
-            load_module(self.forward_detector, directory / "forward.npz")
+            modules["forward"] = self.forward_detector
         if self.backward_detector is not None:
-            load_module(self.backward_detector, directory / "backward.npz")
+            modules["backward"] = self.backward_detector
         if self.independent_detector is not None:
-            load_module(self.independent_detector,
-                        directory / "independent.npz")
-        payload = json.loads((directory / "state.json").read_text())
-        self.featurizer.normalizer = ZScoreNormalizer.from_dict(
-            payload["normalizer"])
+            modules["independent"] = self.independent_detector
+        return modules
+
+    def load(self, directory: str | Path, strict: bool = True) -> "LEAD":
+        """Load weights saved by :meth:`save` (config must match).
+
+        ``strict=True`` (default) verifies the manifest and raises
+        :class:`ArtifactCorruptedError` / ``FileNotFoundError`` on any
+        damage.  ``strict=False`` degrades instead: a missing or
+        corrupted *detector* file disables that detector (online
+        detection falls down the tier chain and says so in its
+        provenance), while the autoencoder and normalizer remain
+        mandatory because nothing can run without them.
+        """
+        directory = Path(directory)
+        notes: list[str] = []
+        if strict:
+            verify_manifest(directory)
+        else:
+            try:
+                verify_manifest(directory)
+            except ArtifactCorruptedError as exc:
+                notes.append(f"manifest verification failed: {exc.reason}")
+        load_module(self.autoencoder, directory / "autoencoder.npz")
+        for name in ("forward", "backward", "independent"):
+            detector = getattr(self, f"{name}_detector")
+            if detector is None:
+                continue
+            try:
+                load_module(detector, directory / f"{name}.npz")
+            except (FileNotFoundError, ArtifactCorruptedError) as exc:
+                if strict:
+                    raise
+                setattr(self, f"{name}_detector", None)
+                notes.append(f"{name} detector unavailable: {exc}")
+        if (self.forward_detector is None and self.backward_detector is None
+                and self.independent_detector is None
+                and self.fallback_detector is None):
+            notes.append("no detector loaded; online detection will use "
+                         "the terminal heuristic tier")
+        payload = load_checked_json(directory / "state.json")
+        try:
+            self.featurizer.normalizer = ZScoreNormalizer.from_dict(
+                payload["normalizer"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ArtifactCorruptedError(
+                directory / "state.json",
+                f"invalid normalizer state: {exc}") from exc
+        self._load_notes = tuple(notes)
         self._fitted = True
         return self

@@ -8,8 +8,12 @@ from .noise import NoiseFilter
 from .staypoints import StayPointExtractor, extract_move_points
 from .candidates import CandidateGenerator
 from .pipeline import ProcessedTrajectory, RawTrajectoryProcessor
+from .validation import (MIN_USABLE_FIXES, sanitize_trajectory,
+                         trajectory_from_raw, trajectory_issues)
 
 __all__ = [
     "NoiseFilter", "StayPointExtractor", "extract_move_points",
     "CandidateGenerator", "ProcessedTrajectory", "RawTrajectoryProcessor",
+    "MIN_USABLE_FIXES", "sanitize_trajectory", "trajectory_from_raw",
+    "trajectory_issues",
 ]

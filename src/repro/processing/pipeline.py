@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from ..model import (CandidateTrajectory, LoadedLabel, MovePoint, StayPoint,
                      Trajectory)
@@ -37,12 +38,23 @@ class ProcessedTrajectory:
     def num_candidates(self) -> int:
         return len(self.candidates)
 
+    @cached_property
+    def _pair_index(self) -> dict[tuple[int, int], int]:
+        """Precomputed pair → enumeration-index map (built once).
+
+        ``candidate_index`` is called once per candidate inside hot
+        evaluation loops; a linear scan there made them O(n²) in the
+        candidate count.
+        """
+        return {candidate.pair: index
+                for index, candidate in enumerate(self.candidates)}
+
     def candidate_index(self, pair: tuple[int, int]) -> int:
         """Position of candidate ``(i', j')`` in the enumeration order."""
-        for index, candidate in enumerate(self.candidates):
-            if candidate.pair == pair:
-                return index
-        raise KeyError(f"no candidate with pair {pair}")
+        try:
+            return self._pair_index[pair]
+        except KeyError:
+            raise KeyError(f"no candidate with pair {pair}") from None
 
     @property
     def labeled_candidate_index(self) -> int | None:

@@ -32,3 +32,49 @@ class TestGenerate:
         dataset = HCTDataset.load(out)
         assert len(dataset) == 4
         assert "wrote 4" in capsys.readouterr().out
+
+
+class TestVerify:
+    @staticmethod
+    def _model_dir(tmp_path):
+        from repro.io import atomic_write_json, write_manifest
+        directory = tmp_path / "model"
+        directory.mkdir()
+        atomic_write_json(directory / "state.json", {"normalizer": {}})
+        write_manifest(directory, ["state.json"], kind="lead-model")
+        return directory
+
+    def test_verify_ok(self, tmp_path, capsys):
+        directory = self._model_dir(tmp_path)
+        assert main(["verify", "--model", str(directory)]) == 0
+        out = capsys.readouterr().out
+        assert "ok  state.json" in out and "1 artifacts verified" in out
+
+    def test_verify_reports_corruption(self, tmp_path, capsys):
+        directory = self._model_dir(tmp_path)
+        data = bytearray((directory / "state.json").read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        (directory / "state.json").write_bytes(bytes(data))
+        assert main(["verify", "--model", str(directory)]) == 2
+        assert "CORRUPT" in capsys.readouterr().out
+
+    def test_verify_requires_manifest(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        assert main(["verify", "--model", str(tmp_path / "empty")]) == 2
+
+
+class TestTypedErrorRendering:
+    def test_typed_errors_become_one_line_messages(self, tmp_path, capsys):
+        """A missing data file exits 2 with a message, not a traceback."""
+        code = main(["train", "--data", str(tmp_path / "missing.json.gz"),
+                     "--out", str(tmp_path / "model")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error (")
+        assert "Traceback" not in err
+
+    def test_traceback_flag_reraises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["--traceback", "train",
+                  "--data", str(tmp_path / "missing.json.gz"),
+                  "--out", str(tmp_path / "model")])

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.errors import ArtifactCorruptedError
 from repro.experiments import Experiment, get_experiment_config
 
 
@@ -94,3 +95,41 @@ class TestExperiment:
         assert set(table) == {"LEAD", "LEAD-NoPoi", "LEAD-NoSel",
                               "LEAD-NoHie", "LEAD-NoGro", "LEAD-NoFor",
                               "LEAD-NoBac"}
+
+
+class TestCorruptionPolicy:
+    """Damaged cache artifacts: loud by default, self-healing on request.
+
+    Runs last in this module — it corrupts the shared cache and then
+    heals it, so earlier cached-artifact tests see a pristine state.
+    """
+
+    @staticmethod
+    def _flip_byte(path):
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+
+    def test_corrupt_weights_raise_then_retrain(self, tiny_experiment):
+        tiny_experiment.lead_variant("LEAD")  # ensure trained + cached
+        self._flip_byte(
+            tiny_experiment.cache / "lead" / "LEAD" / "autoencoder.npz")
+        strict = Experiment(get_experiment_config("tiny"))
+        with pytest.raises(ArtifactCorruptedError):
+            strict.lead_variant("LEAD")
+        healing = Experiment(get_experiment_config("tiny"),
+                             retrain_if_corrupt=True)
+        healed = healing.lead_variant("LEAD")
+        test_set = tiny_experiment.test_set()
+        if test_set:
+            assert healed.detect_processed(test_set[0][0]).pair
+        # The cache is valid again: a fresh strict Experiment just loads.
+        Experiment(get_experiment_config("tiny")).lead_variant("LEAD")
+
+    def test_corrupt_records_are_regenerated(self, tiny_experiment):
+        first = tiny_experiment.method_records("SP-R")
+        path = tiny_experiment.cache / "records" / "SP-R.json"
+        path.write_text("{definitely not json")
+        again = tiny_experiment.method_records("SP-R")
+        assert [r.detected_pair for r in again] == \
+            [r.detected_pair for r in first]

@@ -34,7 +34,53 @@ def inject_outliers(trajectory: Trajectory, count: int,
     indices = rng.choice(len(trajectory) - 1, size=count, replace=False) + 1
     for i in indices:
         lats[i] += jump_m / METERS_PER_DEG
-    return Trajectory(lats, lngs, trajectory.ts)
+    return Trajectory(lats, lngs, trajectory.ts,
+                      truck_id=trajectory.truck_id, day=trajectory.day)
+
+
+def inject_nonfinite(trajectory: Trajectory, count: int,
+                     rng: np.random.Generator,
+                     value: float = np.nan) -> Trajectory:
+    """Corrupt ``count`` fixes' coordinates with NaN/Inf (cold receiver)."""
+    lats = trajectory.lats.copy()
+    lngs = trajectory.lngs.copy()
+    indices = rng.choice(len(trajectory), size=count, replace=False)
+    lats[indices] = value
+    lngs[indices] = value
+    return Trajectory(lats, lngs, trajectory.ts,
+                      truck_id=trajectory.truck_id, day=trajectory.day)
+
+
+def duplicate_timestamps(trajectory: Trajectory, count: int,
+                         rng: np.random.Generator
+                         ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Raw arrays with ``count`` duplicated timestamps (buffered uploads).
+
+    Returns raw ``(lats, lngs, ts)`` — :class:`Trajectory` itself
+    rejects non-increasing timestamps, so these arrays exercise the
+    repair path (``trajectory_from_raw``), not the constructor.
+    """
+    ts = trajectory.ts.copy()
+    indices = rng.choice(len(trajectory) - 1, size=count, replace=False) + 1
+    ts[indices] = ts[indices - 1]
+    return trajectory.lats.copy(), trajectory.lngs.copy(), ts
+
+
+def frozen_clock(trajectory: Trajectory, start: int, length: int
+                 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Raw arrays with a frozen-clock segment: ts stuck at one instant."""
+    ts = trajectory.ts.copy()
+    stop = min(start + length, len(ts))
+    ts[start:stop] = ts[start]
+    return trajectory.lats.copy(), trajectory.lngs.copy(), ts
+
+
+def shuffle_timestamps(trajectory: Trajectory, rng: np.random.Generator
+                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Raw arrays with out-of-order fixes (late batched uploads)."""
+    order = rng.permutation(len(trajectory))
+    return (trajectory.lats[order].copy(), trajectory.lngs[order].copy(),
+            trajectory.ts[order].copy())
 
 
 class TestDropoutRobustness:
@@ -76,6 +122,35 @@ class TestOutlierRobustness:
         corrupted = inject_outliers(trajectory, count=count, rng=rng)
         filtered = NoiseFilter().filter(corrupted)
         assert len(corrupted) - len(filtered) == count
+
+
+class TestFaultInjectionHelpers:
+    def test_inject_outliers_preserves_identity(self):
+        rng = np.random.default_rng(0)
+        trajectory = trajectory_with_stays(num_stays=3)
+        tagged = Trajectory(trajectory.lats, trajectory.lngs, trajectory.ts,
+                            truck_id="truck-7", day="2021-03-01")
+        corrupted = inject_outliers(tagged, count=2, rng=rng)
+        assert corrupted.truck_id == "truck-7"
+        assert corrupted.day == "2021-03-01"
+
+    def test_inject_nonfinite_marks_fixes(self):
+        rng = np.random.default_rng(1)
+        trajectory = trajectory_with_stays(num_stays=3)
+        corrupted = inject_nonfinite(trajectory, count=4, rng=rng)
+        assert int(np.isnan(corrupted.lats).sum()) == 4
+
+    def test_duplicate_timestamps_rejected_by_constructor(self):
+        rng = np.random.default_rng(2)
+        trajectory = trajectory_with_stays(num_stays=3)
+        lats, lngs, ts = duplicate_timestamps(trajectory, count=3, rng=rng)
+        with pytest.raises(ValueError):
+            Trajectory(lats, lngs, ts)
+
+    def test_frozen_clock_freezes_segment(self):
+        trajectory = trajectory_with_stays(num_stays=3)
+        _, _, ts = frozen_clock(trajectory, start=5, length=4)
+        assert (ts[5:9] == ts[5]).all()
 
 
 class TestTimestampEdgeCases:
