@@ -45,6 +45,8 @@ from .eval import (DetectionRecord, accuracy, accuracy_by_bucket,
                    evaluate_detector, prepare_test_set)
 from .analysis import (Waybill, audit_detection, find_unregistered_sites,
                        waybill_from_detection)
+from .perf import (LRUCache, SegmentFeatureCache, parallel_map, run_bench,
+                   spawn_rng)
 
 __version__ = "1.0.0"
 
@@ -73,5 +75,7 @@ __all__ = [
     "evaluate_detector", "prepare_test_set",
     "Waybill", "waybill_from_detection", "audit_detection",
     "find_unregistered_sites",
+    "LRUCache", "SegmentFeatureCache", "parallel_map", "spawn_rng",
+    "run_bench",
     "__version__",
 ]

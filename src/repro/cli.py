@@ -8,6 +8,7 @@ Subcommands::
     python -m repro.cli evaluate --data data.json.gz --model model/
     python -m repro.cli verify   --model model/
     python -m repro.cli tables   --scale small
+    python -m repro.cli bench    --scale tiny --out BENCH_lead.json
 
 ``generate``/``train``/``detect``/``evaluate`` operate on explicit files;
 ``verify`` integrity-checks a saved model directory against its
@@ -33,7 +34,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         DatasetConfig(num_trajectories=args.trajectories,
                       num_trucks=max(1, args.trajectories // 2),
                       seed=args.seed, world=WorldConfig(seed=args.seed)),
-        world=world)
+        world=world, workers=args.workers)
     path = dataset.save(args.out)
     print(f"wrote {len(dataset)} labelled truck-days to {path}")
     return 0
@@ -53,7 +54,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
     lead = LEAD(world.pois, LEADConfig(seed=args.seed))
     checkpoint_dir = args.checkpoint_dir
     report = lead.fit(train.samples, verbose=True,
-                      checkpoint_dir=checkpoint_dir)
+                      checkpoint_dir=checkpoint_dir, workers=args.workers)
     lead.save(args.out)
     print(f"trained on {report.num_trajectories_used} trajectories; "
           f"weights saved to {args.out}")
@@ -130,15 +131,47 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    from .io import atomic_write_json
+    from .perf import compare_to_baseline, format_bench_table, run_bench
+    payload = run_bench(scale=args.scale, repeats=args.repeats,
+                        train_wall=not args.skip_train)
+    atomic_write_json(args.out, payload)
+    print(format_bench_table(payload))
+    print(f"wrote {args.out}")
+    if not payload["equivalence"]["allclose"]:
+        print("FAIL: batched detection diverges from per-trajectory "
+              "results", file=sys.stderr)
+        return 2
+    if args.baseline is not None:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        failures = compare_to_baseline(payload, baseline,
+                                       max_regression=args.max_regression)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 2
+        print(f"no regression vs {args.baseline} "
+              f"(threshold {args.max_regression:g}x)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="LEAD reproduction command line")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    workers_help = ("worker processes for the embarrassingly parallel "
+                    "stages (default: serial; negative = one per CPU); "
+                    "any count >= 1 produces identical results")
+
     p = sub.add_parser("generate", help="generate a synthetic dataset")
     p.add_argument("--out", required=True)
     p.add_argument("--trajectories", type=int, default=100)
     p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--workers", type=int, default=None, help=workers_help)
     p.set_defaults(func=_cmd_generate)
 
     p = sub.add_parser("train", help="train LEAD on a dataset file")
@@ -148,6 +181,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint-dir", default=None,
                    help="checkpoint every epoch here; rerunning the same "
                         "command after a crash resumes training")
+    p.add_argument("--workers", type=int, default=None, help=workers_help)
     p.set_defaults(func=_cmd_train)
 
     p = sub.add_parser("verify",
@@ -175,6 +209,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="discard and retrain artifacts that fail "
                         "integrity checks instead of aborting")
     p.set_defaults(func=_cmd_tables)
+
+    p = sub.add_parser("bench",
+                       help="measure encode/detect throughput and write "
+                            "a BENCH json")
+    p.add_argument("--scale", default=None,
+                   choices=["tiny", "small", "default"],
+                   help="experiment scale (default: REPRO_SCALE or "
+                        "'default')")
+    p.add_argument("--out", default="BENCH_lead.json")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="timing repetitions; best-of wins")
+    p.add_argument("--skip-train", action="store_true",
+                   help="skip the tiny-scale train wall-clock measurement")
+    p.add_argument("--baseline", default=None,
+                   help="committed BENCH json to gate against; exits 2 "
+                        "when throughput regresses past --max-regression")
+    p.add_argument("--max-regression", type=float, default=2.0,
+                   help="allowed throughput drop factor vs the baseline")
+    p.set_defaults(func=_cmd_bench)
 
     parser.add_argument("--traceback", action="store_true",
                         help="show full tracebacks for typed errors")

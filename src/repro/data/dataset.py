@@ -11,12 +11,14 @@ from __future__ import annotations
 import gzip
 import json
 from dataclasses import dataclass, field
+from functools import partial
 from pathlib import Path
 from typing import Iterator, Sequence
 
 import numpy as np
 
 from ..model import LoadedLabel, Trajectory
+from ..perf.parallel import parallel_map, spawn_rng
 from .simulator import SimulatorConfig, Truck, TruckDaySimulator, make_fleet
 from .world import SyntheticWorld, WorldConfig
 
@@ -140,13 +142,45 @@ class DatasetConfig:
             self.num_trucks = self.num_trajectories
 
 
+def _simulate_task(simulator: TruckDaySimulator, seed: int,
+                   task: tuple[int, Truck, str]) -> LabeledSample:
+    """One truck-day simulation with its own deterministic stream.
+
+    The stream is derived from ``(seed, task_index)`` — never shared with
+    sibling tasks — so the sample is a pure function of the task, not of
+    which worker ran it or in what order (see :mod:`repro.perf.parallel`).
+    """
+    index, truck, day = task
+    rng = spawn_rng(seed, index)
+    for attempt in range(8):
+        try:
+            trajectory, label = simulator.simulate(truck, day, rng)
+            return LabeledSample(trajectory, label)
+        except RuntimeError:
+            if attempt == 7:
+                raise
+    raise AssertionError("unreachable")
+
+
 def generate_dataset(config: DatasetConfig | None = None,
-                     world: SyntheticWorld | None = None) -> HCTDataset:
+                     world: SyntheticWorld | None = None,
+                     workers: int | None = None) -> HCTDataset:
     """Generate a labelled synthetic dataset.
 
     Trajectories are assigned to trucks round-robin so every truck has at
     least one day; a truck with several days reuses its company's site pool
     (as real fleets do).
+
+    ``workers`` controls the seeding and scheduling discipline:
+
+    * ``None`` (default) — the legacy serial path: one generator threads
+      through every simulation in order, byte-identical to every dataset
+      this repository has ever produced;
+    * ``>= 1`` — per-task seeding: each truck-day derives its own stream
+      from ``(config.seed, task_index)``, so the dataset is bit-for-bit
+      identical for *any* worker count (``workers=1`` serial in-process,
+      ``workers=2`` and ``workers=32`` included), at the cost of
+      differing from the legacy realization.
     """
     config = config or DatasetConfig()
     rng = np.random.default_rng(config.seed)
@@ -155,17 +189,26 @@ def generate_dataset(config: DatasetConfig | None = None,
     simulator = TruckDaySimulator(world, config.sim)
     dataset = HCTDataset()
     day_counter: dict[str, int] = {}
+    tasks: list[tuple[int, Truck, str]] = []
     for i in range(config.num_trajectories):
         truck = fleet[i % len(fleet)]
         day_index = day_counter.get(truck.truck_id, 0)
         day_counter[truck.truck_id] = day_index + 1
-        day = f"{config.start_day}+{day_index}"
-        for attempt in range(8):
-            try:
-                trajectory, label = simulator.simulate(truck, day, rng)
-                dataset.add(LabeledSample(trajectory, label))
-                break
-            except RuntimeError:
-                if attempt == 7:
-                    raise
+        tasks.append((i, truck, f"{config.start_day}+{day_index}"))
+    if workers is None:
+        # Legacy path: a single stream threads through all simulations.
+        for _, truck, day in tasks:
+            for attempt in range(8):
+                try:
+                    trajectory, label = simulator.simulate(truck, day, rng)
+                    dataset.add(LabeledSample(trajectory, label))
+                    break
+                except RuntimeError:
+                    if attempt == 7:
+                        raise
+        return dataset
+    samples = parallel_map(partial(_simulate_task, simulator, config.seed),
+                           tasks, workers=workers)
+    for sample in samples:
+        dataset.add(sample)
     return dataset

@@ -56,7 +56,8 @@ class GroupDetector(Module):
                                    group.flat_indices(), segments=None)
 
     def score_indexed(self, cvecs: Tensor, index_maps: list[np.ndarray],
-                      segments: np.ndarray | None = None) -> Tensor:
+                      segments: np.ndarray | None = None,
+                      bucket: bool = False) -> Tensor:
         """Differentiable variant of :meth:`forward`.
 
         ``cvecs`` is the ``(N, D)`` tensor of compressed vectors (typically
@@ -67,16 +68,27 @@ class GroupDetector(Module):
         fine-tuning path.  When several trajectories' groups were merged,
         ``segments`` gives the candidate count of each trajectory so the
         flat softmax normalizes per trajectory, never across them.
+
+        ``bucket=True`` groups the subgroup sequences by power-of-two
+        length before the BiLSTM pass so short subgroups are not padded
+        to the longest subgroup of the whole (merged) batch.  The
+        freeze-masked BiLSTM makes the hidden states of valid positions
+        padding-length invariant, so this changes nothing but wasted
+        arithmetic; it pays off when many trajectories' groups were
+        merged and is a no-op for single-subgroup calls.
         """
         if cvecs.shape[-1] != self.input_dim:
             raise ValueError(
                 f"expected c-vec dim {self.input_dim}, got {cvecs.shape}")
         lengths = np.array([len(m) for m in index_maps], dtype=np.int64)
+        flat_indices = np.concatenate(index_maps)
+        if bucket and len(index_maps) > 1 and not self.subgroup_softmax:
+            return self._probabilities_bucketed(cvecs, index_maps, lengths,
+                                                flat_indices, segments)
         index = np.zeros((len(index_maps), int(lengths.max())),
                          dtype=np.int64)
         for row, indices in enumerate(index_maps):
             index[row, :len(indices)] = indices
-        flat_indices = np.concatenate(index_maps)
         return self._probabilities(cvecs[index], lengths, flat_indices,
                                    segments)
 
@@ -95,7 +107,37 @@ class GroupDetector(Module):
         # Flat normalization: one softmax per trajectory's candidates.
         pieces = [scores[b, :int(lengths[b])]
                   for b in range(batch.shape[0])]
-        flat_scores = concat(pieces, axis=0)[order]
+        return self._normalize_flat(concat(pieces, axis=0)[order], segments)
+
+    def _probabilities_bucketed(self, cvecs: Tensor,
+                                index_maps: list[np.ndarray],
+                                lengths: np.ndarray,
+                                flat_indices: np.ndarray,
+                                segments: np.ndarray | None) -> Tensor:
+        """Flat-softmax scoring with length-bucketed BiLSTM passes.
+
+        Subgroups are binned by the power-of-two ceiling of their length;
+        each bin runs one backbone forward padded only to the bin's own
+        maximum, and the per-subgroup score slices are reassembled in the
+        original subgroup order before normalization.
+        """
+        keys = 2 ** np.ceil(np.log2(np.maximum(lengths, 1))).astype(np.int64)
+        pieces: list[Tensor | None] = [None] * len(index_maps)
+        for key in np.unique(keys):
+            rows = np.nonzero(keys == key)[0]
+            width = int(lengths[rows].max())
+            index = np.zeros((len(rows), width), dtype=np.int64)
+            for r, row in enumerate(rows):
+                index[r, :int(lengths[row])] = index_maps[row]
+            hidden = self.backbone(cvecs[index], lengths[rows])
+            scores = self.score(hidden).reshape(len(rows), width)
+            for r, row in enumerate(rows):
+                pieces[row] = scores[r, :int(lengths[row])]
+        order = np.argsort(flat_indices)
+        return self._normalize_flat(concat(pieces, axis=0)[order], segments)
+
+    def _normalize_flat(self, flat_scores: Tensor,
+                        segments: np.ndarray | None) -> Tensor:
         if segments is None:
             return flat_scores.softmax(axis=0)
         bounds = np.concatenate([[0], np.cumsum(segments)])

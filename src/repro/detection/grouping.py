@@ -84,17 +84,48 @@ class Group:
         return np.concatenate(self.index_maps)
 
 
+#: Index maps are pure functions of ``n`` and are rebuilt for every
+#: trajectory of every detect call; stay-point counts repeat heavily
+#: across a fleet, so a small memo removes the quadratic Python loop
+#: from the online path.  Cached arrays are frozen — consumers that
+#: offset them (``merge_groups``, the batched detector path) already
+#: produce fresh arrays via ``indices + offset``.
+_INDEX_MAP_MEMO: dict[tuple[str, int], list[np.ndarray]] = {}
+_INDEX_MAP_MEMO_MAX = 1024
+
+
+def _memoized_maps(kind: str, num_stay_points: int, build) -> list[np.ndarray]:
+    key = (kind, num_stay_points)
+    maps = _INDEX_MAP_MEMO.get(key)
+    if maps is None:
+        maps = build(num_stay_points)
+        for indices in maps:
+            indices.setflags(write=False)
+        if len(_INDEX_MAP_MEMO) >= _INDEX_MAP_MEMO_MAX:
+            _INDEX_MAP_MEMO.clear()
+        _INDEX_MAP_MEMO[key] = maps
+    return list(maps)
+
+
 def forward_index_maps(num_stay_points: int) -> list[np.ndarray]:
     """Candidate indices of subgroups g_1..g_{n-1} (same starting index,
     ascending ending index)."""
-    n = num_stay_points
-    return [np.array([pair_to_index(n, (i, j)) for j in range(i + 1, n + 1)])
-            for i in range(1, n)]
+    return _memoized_maps("forward", num_stay_points, _forward_index_maps)
 
 
 def backward_index_maps(num_stay_points: int) -> list[np.ndarray]:
     """Candidate indices of subgroups ḡ_2..ḡ_n (same ending index,
     descending starting index)."""
+    return _memoized_maps("backward", num_stay_points, _backward_index_maps)
+
+
+def _forward_index_maps(num_stay_points: int) -> list[np.ndarray]:
+    n = num_stay_points
+    return [np.array([pair_to_index(n, (i, j)) for j in range(i + 1, n + 1)])
+            for i in range(1, n)]
+
+
+def _backward_index_maps(num_stay_points: int) -> list[np.ndarray]:
     n = num_stay_points
     return [np.array([pair_to_index(n, (i, j)) for i in range(j - 1, 0, -1)])
             for j in range(2, n + 1)]

@@ -29,7 +29,53 @@ from ..nn.padding import pad_sequences
 from ..nn.rnn import sequence_mask
 from .operators import CompressionOperator, DecompressionOperator
 
-__all__ = ["EncoderConfig", "HierarchicalAutoencoder"]
+__all__ = ["EncoderConfig", "HierarchicalAutoencoder", "build_pair_indices"]
+
+
+def build_pair_indices(pairs: list[tuple[int, int]]
+                       ) -> tuple[np.ndarray, np.ndarray,
+                                  np.ndarray, np.ndarray]:
+    """Vectorized phase-2 gather indices for candidate pairs.
+
+    Candidate ``(i, j)`` covers stay ordinals ``i..j`` (``j - i + 1``
+    c-vecs) and move ordinals ``i..j-1`` (``j - i`` c-vecs, possibly
+    zero for adjacent stays).  Returns ``(sp_lengths, mp_lengths,
+    sp_index, mp_index)`` where the index matrices gather rows of the
+    phase-1 c-vec arrays into right-padded ``(N, maxK)`` layouts; padded
+    cells point at row 0, which is masked out by the length vectors.
+
+    The move-side index matrix is always at least one column wide so a
+    batch whose candidates are all adjacent-stay pairs (every
+    ``mp_length == 0``) still produces a well-formed ``(N, 1)`` gather
+    instead of crashing on an empty ``max()``.
+    """
+    pairs_arr = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+    i = pairs_arr[:, 0]
+    j = pairs_arr[:, 1]
+    sp_lengths = j - i + 1
+    mp_lengths = j - i
+    cols = np.arange(int(sp_lengths.max()))[None, :]
+    sp_index = np.where(cols < sp_lengths[:, None], i[:, None] - 1 + cols, 0)
+    mp_cols = np.arange(max(int(mp_lengths.max()), 1))[None, :]
+    mp_index = np.where(mp_cols < mp_lengths[:, None],
+                        i[:, None] - 1 + mp_cols, 0)
+    return sp_lengths, mp_lengths, sp_index, mp_index
+
+
+def _shape_buckets(lengths: np.ndarray, bucket: bool) -> list[np.ndarray]:
+    """Group candidate rows by the power-of-2 ceiling of their length.
+
+    Bucketing trades one big ragged pad for a few tighter ones: rows in
+    a bucket are padded to the bucket's true maximum, so a batch mixing
+    2-stay and 40-stay candidates does not pay 40-step recurrences for
+    everyone.  Correctness never depends on the grouping — padding is
+    freeze-masked — so ``bucket=False`` (a single group) is equivalent.
+    """
+    if not bucket or lengths.shape[0] <= 1:
+        return [np.arange(lengths.shape[0])]
+    clipped = np.maximum(lengths, 1)
+    keys = 2 ** np.ceil(np.log2(clipped)).astype(np.int64)
+    return [np.nonzero(keys == key)[0] for key in np.unique(keys)]
 
 
 @dataclass(frozen=True)
@@ -257,15 +303,8 @@ class HierarchicalAutoencoder(Module):
             return self._encode_flat(stay_segments, move_segments, pairs)
         sp_cvecs = self._phase1(stay_segments, self.comp_sp)  # (n, H)
         mp_cvecs = self._phase1(move_segments, self.comp_mp)
-        sp_lengths = np.array([j - i + 1 for i, j in pairs])
-        mp_lengths = np.array([j - i for i, j in pairs])
-        sp_index = np.zeros((len(pairs), int(sp_lengths.max())),
-                            dtype=np.int64)
-        mp_index = np.zeros((len(pairs), int(mp_lengths.max())),
-                            dtype=np.int64)
-        for row, (i, j) in enumerate(pairs):
-            sp_index[row, :j - i + 1] = np.arange(i - 1, j)
-            mp_index[row, :j - i] = np.arange(i - 1, j - 1)
+        sp_lengths, mp_lengths, sp_index, mp_index = build_pair_indices(
+            pairs)
         sp_vec = self.comp_sp2(sp_cvecs[sp_index], sp_lengths)
         mp_vec = self.comp_mp2(mp_cvecs[mp_index], mp_lengths)
         return concat([sp_vec, mp_vec], axis=1)
@@ -281,6 +320,89 @@ class HierarchicalAutoencoder(Module):
             flats.append(np.concatenate(parts, axis=0))
         batch, lengths = pad_sequences(flats)
         return self.comp_flat(Tensor(batch), lengths)
+
+    # ------------------------------------------------------------------
+    # Inference over all candidates of many trajectories at once
+    # ------------------------------------------------------------------
+    def encode_trajectories(self, stay_lists: list[list[np.ndarray]],
+                            move_lists: list[list[np.ndarray]],
+                            pairs_lists: list[list[tuple[int, int]]],
+                            bucket: bool = True) -> list[np.ndarray]:
+        """Encode the candidates of many trajectories in fused batches.
+
+        Phase 1 runs *once* over every segment of every trajectory (two
+        GEMM-dominated passes instead of two per trajectory), and phase 2
+        runs once per shape bucket over the merged candidate set.  The
+        per-trajectory results equal :meth:`encode_trajectory` output up
+        to floating-point associativity of the underlying GEMMs (padding
+        itself is exact: freeze-masked recurrences and ``-1e9`` masked
+        attention zero padded contributions bit-for-bit).
+
+        Returns one ``(N_t, cvec_dim)`` array per input trajectory.
+        """
+        if not (len(stay_lists) == len(move_lists) == len(pairs_lists)):
+            raise ValueError("per-trajectory lists must align")
+        if not stay_lists:
+            return []
+        if any(not pairs for pairs in pairs_lists):
+            raise ValueError("no candidate pairs to encode")
+        with no_grad():
+            if not self.config.hierarchical:
+                return self._encode_flat_many(
+                    stay_lists, move_lists, pairs_lists)
+            # Phase 1 once over every segment of every trajectory.
+            sp_offsets = np.cumsum([0] + [len(s) for s in stay_lists])
+            mp_offsets = np.cumsum([0] + [len(m) for m in move_lists])
+            sp_all = [seg for segs in stay_lists for seg in segs]
+            mp_all = [seg for segs in move_lists for seg in segs]
+            sp_cvecs = self._phase1(sp_all, self.comp_sp).numpy()
+            mp_cvecs = self._phase1(mp_all, self.comp_mp).numpy()
+            # Flatten candidates, rebasing ordinals to global row offsets.
+            counts = [len(pairs) for pairs in pairs_lists]
+            pairs_arr = np.concatenate(
+                [np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+                 for pairs in pairs_lists], axis=0)
+            sp_start = np.repeat(sp_offsets[:-1], counts) \
+                + pairs_arr[:, 0] - 1
+            mp_start = np.repeat(mp_offsets[:-1], counts) \
+                + pairs_arr[:, 0] - 1
+            sp_lengths = pairs_arr[:, 1] - pairs_arr[:, 0] + 1
+            mp_lengths = pairs_arr[:, 1] - pairs_arr[:, 0]
+            h = self.config.hidden_size
+            out = np.empty((pairs_arr.shape[0], self.config.cvec_dim))
+            for rows in _shape_buckets(sp_lengths, bucket):
+                width = int(sp_lengths[rows].max())
+                cols = np.arange(width)[None, :]
+                sp_idx = np.where(cols < sp_lengths[rows, None],
+                                  sp_start[rows, None] + cols, 0)
+                mp_cols = np.arange(max(width - 1, 1))[None, :]
+                mp_idx = np.where(mp_cols < mp_lengths[rows, None],
+                                  mp_start[rows, None] + mp_cols, 0)
+                sp_vec = self.comp_sp2(Tensor(sp_cvecs[sp_idx]),
+                                       sp_lengths[rows])
+                mp_vec = self.comp_mp2(Tensor(mp_cvecs[mp_idx]),
+                                       mp_lengths[rows])
+                out[rows, :h] = sp_vec.numpy()
+                out[rows, h:] = mp_vec.numpy()
+            return list(np.split(out, np.cumsum(counts)[:-1]))
+
+    def _encode_flat_many(self, stay_lists, move_lists,
+                          pairs_lists) -> list[np.ndarray]:
+        """LEAD-NoHie batched inference: one flat pass over all candidates."""
+        flats: list[np.ndarray] = []
+        counts: list[int] = []
+        for stays, moves, pairs in zip(stay_lists, move_lists, pairs_lists):
+            counts.append(len(pairs))
+            for i, j in pairs:
+                parts = []
+                for ordinal in range(i, j):
+                    parts.append(stays[ordinal - 1])
+                    parts.append(moves[ordinal - 1])
+                parts.append(stays[j - 1])
+                flats.append(np.concatenate(parts, axis=0))
+        batch, lengths = pad_sequences(flats)
+        out = self.comp_flat(Tensor(batch), lengths).numpy()
+        return list(np.split(out, np.cumsum(counts)[:-1]))
 
     def encode(self, features: CandidateFeatures) -> np.ndarray:
         """The c-vec of one candidate as a ``(cvec_dim,)`` array."""

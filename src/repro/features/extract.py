@@ -93,3 +93,14 @@ class FeatureExtractor:
 
     def clear_cache(self) -> None:
         self._cache.clear()
+
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle without the memo: ``id()`` keys are meaningless in
+        another process, and shipping every cached feature matrix to a
+        worker would dwarf the task payloads it rides along with.
+        Workers rebuild entries on demand — content-identical by
+        construction."""
+        state = self.__dict__.copy()
+        state["_cache"] = {}
+        return state

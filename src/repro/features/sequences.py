@@ -7,12 +7,14 @@ the hierarchical autoencoder compresses separately and hierarchically.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from enum import Enum
 
 import numpy as np
 
 from ..model import CandidateTrajectory, MovePoint, StayPoint
+from ..perf.cache import SegmentFeatureCache
 from .extract import FeatureExtractor, subsample_indices
 from .normalize import ZScoreNormalizer
 
@@ -81,12 +83,17 @@ class CandidateFeaturizer:
 
     def __init__(self, extractor: FeatureExtractor,
                  normalizer: ZScoreNormalizer,
-                 feature_scale: float = 1.0 / 3.0) -> None:
+                 feature_scale: float = 1.0 / 3.0,
+                 cache: SegmentFeatureCache | None = None) -> None:
         if feature_scale <= 0:
             raise ValueError("feature_scale must be positive")
         self.extractor = extractor
         self.normalizer = normalizer
         self.feature_scale = feature_scale
+        #: Optional content-keyed cache of per-segment feature matrices.
+        #: ``None`` disables caching; behaviour is identical either way.
+        self.cache = cache
+        self._context_memo: tuple | None = None
 
     # ------------------------------------------------------------------
     def fit_normalizer(self, trajectories) -> ZScoreNormalizer:
@@ -99,7 +106,60 @@ class CandidateFeaturizer:
         return self.normalizer
 
     # ------------------------------------------------------------------
-    def _segment_features(self, segment: StayPoint | MovePoint) -> np.ndarray:
+    def context_fingerprint(self) -> bytes:
+        """Digest of everything segment features depend on beyond the segment.
+
+        Covers the normalizer statistics, the feature scale, and the
+        extractor's configuration (POI radius, POI on/off, subsampling
+        cap).  Refitting the normalizer replaces its ``mean_``/``std_``
+        arrays wholesale, which changes this fingerprint and thereby
+        silently invalidates every stale cache entry.  Memoized by array
+        identity (references are held, so ids stay valid).
+        """
+        mean = self.normalizer.mean_
+        std = self.normalizer.std_
+        memo = self._context_memo
+        if (memo is not None and memo[0] is mean and memo[1] is std
+                and memo[2] == self.feature_scale):
+            return memo[3]
+        cfg = self.extractor.config
+        hasher = hashlib.blake2b(digest_size=16)
+        if mean is not None:
+            hasher.update(np.ascontiguousarray(mean).tobytes())
+            hasher.update(np.ascontiguousarray(std).tobytes())
+        hasher.update(repr((self.feature_scale, cfg.poi_radius_m,
+                            cfg.max_segment_len, cfg.use_poi)).encode())
+        digest = hasher.digest()
+        self._context_memo = (mean, std, self.feature_scale, digest)
+        return digest
+
+    def segment_features(self, segment: StayPoint | MovePoint) -> np.ndarray:
+        """Z-scored, rescaled ``(L, F)`` feature matrix of one segment.
+
+        This is the public hot-path entry point: the pipeline, the
+        baselines and the cache all route through it.  With a cache
+        attached, each (trajectory content, segment range, featurization
+        context) triple is computed once; cached matrices are returned
+        read-only.
+        """
+        cache = self.cache
+        if cache is None:
+            return self._compute_segment_features(segment)
+        context = self.context_fingerprint()
+        hit = cache.get(segment, context)
+        if hit is not None:
+            return hit  # type: ignore[return-value]
+        value = self._compute_segment_features(segment)
+        value.setflags(write=False)
+        cache.put(segment, context, value)
+        return value
+
+    #: Backwards-compatible alias of :meth:`segment_features` (the method
+    #: was private before the throughput layer made it a public contract).
+    _segment_features = segment_features
+
+    def _compute_segment_features(self, segment: StayPoint | MovePoint
+                                  ) -> np.ndarray:
         indices = subsample_indices(segment.start, segment.end,
                                     self.extractor.config.max_segment_len)
         raw = self.extractor.point_features(segment.trajectory, indices)
@@ -110,7 +170,7 @@ class CandidateFeaturizer:
         segments = []
         kinds = []
         for segment in candidate.segments():
-            segments.append(self._segment_features(segment))
+            segments.append(self.segment_features(segment))
             kinds.append(SegmentKind.STAY if isinstance(segment, StayPoint)
                          else SegmentKind.MOVE)
         return CandidateFeatures(pair=candidate.pair,
@@ -126,4 +186,4 @@ class CandidateFeaturizer:
         Used by the SP-GRU / SP-LSTM baselines, which classify stay points
         in isolation.
         """
-        return self._segment_features(stay_point)
+        return self.segment_features(stay_point)

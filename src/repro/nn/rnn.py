@@ -7,6 +7,15 @@ state after the loop equals the state at each sequence's true last step.
 The same trick makes the reversed direction of a BiLSTM correct without any
 explicit sequence reversal: iterating from the right, the state stays at its
 initial value until the first valid (rightmost) element is reached.
+
+Performance: the input-to-hidden projection of a gated cell does not
+depend on the recurrent state, so the drivers *hoist* it out of the time
+loop — one ``(B*T, F) @ (F, 4H)`` GEMM up front replaces ``T`` small
+``(B, F) @ (F, 4H)`` GEMMs inside the loop (``3H`` for GRUs).  The
+decoder goes further: its input is the *same* vector at every step, so a
+single ``(B, F) @ (F, 4H)`` product serves all ``T`` steps.  The per-step
+work left in Python is only the irreducible recurrent part,
+``h @ W_hh`` plus the gate nonlinearities.
 """
 
 from __future__ import annotations
@@ -51,10 +60,25 @@ class LSTMCell(Module):
         bias[hidden_size:2 * hidden_size] = 1.0  # forget-gate bias trick
         self.bias = Parameter(bias)
 
-    def forward(self, x: Tensor, h: Tensor, c: Tensor,
-                mask: np.ndarray | None = None) -> tuple[Tensor, Tensor]:
+    def input_projection(self, x: Tensor) -> Tensor:
+        """Hoisted input-to-hidden GEMM for a whole ``(B, T, F)`` batch.
+
+        Returns ``(B, T, 4H)``; pass slices of it to :meth:`forward` via
+        ``x_proj`` so the time loop skips the per-step ``x @ W_ih``.
+        Computed as one fused ``(B·T, F) @ (F, 4H)`` matmul.
+        """
+        batch, steps, features = x.shape
+        flat = x.reshape(batch * steps, features)
+        return (flat @ self.w_ih).reshape(batch, steps,
+                                          4 * self.hidden_size)
+
+    def forward(self, x: Tensor | None, h: Tensor, c: Tensor,
+                mask: np.ndarray | None = None,
+                x_proj: Tensor | None = None) -> tuple[Tensor, Tensor]:
         n = self.hidden_size
-        gates = x @ self.w_ih + h @ self.w_hh + self.bias
+        if x_proj is None:
+            x_proj = x @ self.w_ih
+        gates = x_proj + h @ self.w_hh + self.bias
         i = gates[:, 0 * n:1 * n].sigmoid()
         f = gates[:, 1 * n:2 * n].sigmoid()
         g = gates[:, 2 * n:3 * n].tanh()
@@ -87,10 +111,18 @@ class GRUCell(Module):
         self.b_ih = Parameter(np.zeros(3 * hidden_size))
         self.b_hh = Parameter(np.zeros(3 * hidden_size))
 
-    def forward(self, x: Tensor, h: Tensor,
-                mask: np.ndarray | None = None) -> Tensor:
+    def input_projection(self, x: Tensor) -> Tensor:
+        """Hoisted ``(B·T, F) @ (F, 3H)`` input projection (bias included)."""
+        batch, steps, features = x.shape
+        flat = x.reshape(batch * steps, features)
+        return (flat @ self.w_ih + self.b_ih).reshape(
+            batch, steps, 3 * self.hidden_size)
+
+    def forward(self, x: Tensor | None, h: Tensor,
+                mask: np.ndarray | None = None,
+                x_proj: Tensor | None = None) -> Tensor:
         n = self.hidden_size
-        gi = x @ self.w_ih + self.b_ih
+        gi = x @ self.w_ih + self.b_ih if x_proj is None else x_proj
         gh = h @ self.w_hh + self.b_hh
         r = (gi[:, 0 * n:1 * n] + gh[:, 0 * n:1 * n]).sigmoid()
         z = (gi[:, 1 * n:2 * n] + gh[:, 1 * n:2 * n]).sigmoid()
@@ -137,10 +169,12 @@ class LSTM(_Recurrent):
         mask = None if lengths is None else sequence_mask(lengths, steps)
         h = self._zero_state(batch)
         c = self._zero_state(batch)
+        x_proj = self.cell.input_projection(x)  # one GEMM for all steps
         outputs: list[Tensor] = [None] * steps  # type: ignore[list-item]
         for t in self._time_order(steps):
             step_mask = None if mask is None else mask[:, t]
-            h, c = self.cell(x[:, t, :], h, c, mask=step_mask)
+            h, c = self.cell(None, h, c, mask=step_mask,
+                             x_proj=x_proj[:, t, :])
             outputs[t] = h
         return stack(outputs, axis=1), (h, c)
 
@@ -159,10 +193,11 @@ class GRU(_Recurrent):
         batch, steps, _ = x.shape
         mask = None if lengths is None else sequence_mask(lengths, steps)
         h = self._zero_state(batch)
+        x_proj = self.cell.input_projection(x)  # one GEMM for all steps
         outputs: list[Tensor] = [None] * steps  # type: ignore[list-item]
         for t in self._time_order(steps):
             step_mask = None if mask is None else mask[:, t]
-            h = self.cell(x[:, t, :], h, mask=step_mask)
+            h = self.cell(None, h, mask=step_mask, x_proj=x_proj[:, t, :])
             outputs[t] = h
         return stack(outputs, axis=1), h
 
@@ -226,9 +261,12 @@ class LSTMDecoder(Module):
         mask = None if lengths is None else sequence_mask(lengths, steps)
         h = Tensor(np.zeros((batch, self.hidden_size)))
         c = Tensor(np.zeros((batch, self.hidden_size)))
+        # The input is the same vector at every step: project it once and
+        # reuse the result for all ``steps`` iterations.
+        v_proj = v @ self.cell.w_ih
         outputs: list[Tensor] = []
         for t in range(steps):
             step_mask = None if mask is None else mask[:, t]
-            h, c = self.cell(v, h, c, mask=step_mask)
+            h, c = self.cell(None, h, c, mask=step_mask, x_proj=v_proj)
             outputs.append(h)
         return stack(outputs, axis=1)

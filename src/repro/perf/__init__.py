@@ -1,0 +1,23 @@
+"""Throughput layer: caching, deterministic parallelism, benchmarks.
+
+This package holds the machinery that makes LEAD fast without changing
+what it computes:
+
+* :mod:`repro.perf.cache` — content-keyed LRU caches for featurization;
+* :mod:`repro.perf.parallel` — order-preserving, deterministically
+  seeded process-parallel map for the offline stages;
+* :mod:`repro.perf.bench` — the ``repro bench`` harness that measures
+  trajectories/sec and writes ``BENCH_lead.json``.
+"""
+
+from .bench import compare_to_baseline, format_bench_table, run_bench
+from .cache import CacheStats, LRUCache, SegmentFeatureCache, \
+    TrajectoryFingerprinter
+from .parallel import effective_workers, parallel_map, spawn_rng
+
+__all__ = [
+    "CacheStats", "LRUCache", "SegmentFeatureCache",
+    "TrajectoryFingerprinter",
+    "effective_workers", "parallel_map", "spawn_rng",
+    "run_bench", "compare_to_baseline", "format_bench_table",
+]

@@ -1,0 +1,229 @@
+"""Perf benchmark harness behind ``repro bench``.
+
+Measures, at a named experiment scale:
+
+* featurization wall-clock, cold cache vs warm cache;
+* encoding throughput (trajectories/sec), per-trajectory loop vs one
+  batched cross-trajectory pass;
+* detection throughput, per-trajectory :meth:`LEAD.detect_processed`
+  loop vs :meth:`LEAD.detect_processed_batch`;
+* batched-vs-unbatched equivalence (``allclose`` at ``rtol=1e-9`` over
+  the full test set, plus the observed max abs deviation);
+* wall-clock of a full tiny-scale offline ``fit`` (always tiny,
+  whatever the bench scale — it is the trend line, not a rate).
+
+The result dictionary is written to ``BENCH_lead.json`` so every future
+change has a perf trajectory to compare against;
+:func:`compare_to_baseline` implements the CI regression gate (fail when
+throughput falls more than ``max_regression``× below a committed
+baseline — machine-to-machine noise is real, order-of-magnitude cliffs
+are not).
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import time
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["run_bench", "compare_to_baseline", "format_bench_table",
+           "GATED_METRICS"]
+
+#: Throughput metrics (higher is better) covered by the CI gate.
+GATED_METRICS = ("encode_single_tps", "encode_batch_tps",
+                 "detect_single_tps", "detect_batch_tps")
+
+
+def _best_time(fn: Callable[[], object], repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock seconds of ``fn()`` (min, the
+    standard noise-robust estimator for CPU microbenchmarks)."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _clear_feature_caches(lead) -> None:
+    if lead.feature_cache is not None:
+        lead.feature_cache.clear()
+    lead.extractor.clear_cache()
+
+
+def run_bench(scale: str | None = None, repeats: int = 3,
+              train_wall: bool = True, verbose: bool = False) -> dict:
+    """Run the full benchmark suite at one experiment scale.
+
+    Uses the same cached artifacts as the tables/benchmarks harness
+    (training the model first if the scale has never been run), so a
+    bench run after a ``repro tables`` run measures pure inference.
+    """
+    from ..experiments import Experiment, get_experiment_config
+    config = get_experiment_config(scale)
+    experiment = Experiment(config, retrain_if_corrupt=True)
+    lead = experiment.lead_variant("LEAD", verbose=verbose)
+    test_set = experiment.test_set()
+    processed = [p for p, _ in test_set]
+    if not processed:
+        raise ValueError(f"scale {config.name!r} has an empty test set")
+    n = len(processed)
+    metrics: dict[str, float] = {}
+
+    # -- featurization: cold vs warm cache ---------------------------------
+    def featurize_all() -> None:
+        for item in processed:
+            lead._segments(item)
+
+    _clear_feature_caches(lead)
+    start = time.perf_counter()
+    featurize_all()
+    metrics["featurize_cold_s"] = time.perf_counter() - start
+    metrics["featurize_warm_s"] = _best_time(featurize_all, repeats)
+    metrics["featurize_cache_speedup"] = (
+        metrics["featurize_cold_s"] / max(metrics["featurize_warm_s"], 1e-12))
+
+    # -- encoding throughput ----------------------------------------------
+    single_s = _best_time(
+        lambda: [lead.encode_candidates(item) for item in processed], repeats)
+    batch_s = _best_time(
+        lambda: lead.encode_candidates_batch(processed), repeats)
+    metrics["encode_single_tps"] = n / single_s
+    metrics["encode_batch_tps"] = n / batch_s
+    metrics["encode_batch_speedup"] = single_s / batch_s
+
+    # -- detection throughput ---------------------------------------------
+    single_s = _best_time(
+        lambda: [lead.detect_processed(item) for item in processed], repeats)
+    batch_s = _best_time(
+        lambda: lead.detect_processed_batch(processed), repeats)
+    metrics["detect_single_tps"] = n / single_s
+    metrics["detect_batch_tps"] = n / batch_s
+    metrics["detect_batch_speedup"] = single_s / batch_s
+
+    # -- batched == unbatched ---------------------------------------------
+    singles = [lead.predict_distribution(item) for item in processed]
+    batched = lead.predict_distribution_batch(processed)
+    max_diff = max(float(np.abs(a - b).max())
+                   for a, b in zip(singles, batched))
+    equivalence = {
+        "rtol": 1e-9,
+        "allclose": bool(all(np.allclose(a, b, rtol=1e-9, atol=0.0)
+                             for a, b in zip(singles, batched))),
+        "max_abs_diff": max_diff,
+    }
+
+    # -- tiny-scale train wall-clock --------------------------------------
+    if train_wall:
+        metrics["train_tiny_wall_s"] = _tiny_train_wall(verbose)
+
+    cache_stats = (lead.feature_cache.stats.as_dict()
+                   if lead.feature_cache is not None else None)
+    return {
+        "schema": 1,
+        "scale": config.name,
+        "generated_unix": time.time(),
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "num_test_trajectories": n,
+        "num_candidates": int(sum(p.num_candidates for p in processed)),
+        "metrics": metrics,
+        "equivalence": equivalence,
+        "feature_cache": cache_stats,
+    }
+
+
+def _tiny_train_wall(verbose: bool) -> float:
+    """Wall-clock of a fresh tiny-scale offline stage (data gen excluded)."""
+    from ..data import SyntheticWorld, generate_dataset
+    from ..experiments import get_experiment_config
+    from ..pipeline import LEAD
+    config = get_experiment_config("tiny")
+    world = SyntheticWorld(config.dataset.world)
+    dataset = generate_dataset(config.dataset, world=world)
+    train, _, _ = dataset.split_by_truck((8, 1, 1), seed=config.seed)
+    model = LEAD(world.pois, config.lead)
+    start = time.perf_counter()
+    model.fit(train.samples, verbose=verbose)
+    return time.perf_counter() - start
+
+
+def compare_to_baseline(current: dict, baseline: dict,
+                        max_regression: float = 2.0) -> list[str]:
+    """CI regression gate: list of human-readable failures (empty = pass).
+
+    A gated throughput metric fails when it drops more than
+    ``max_regression``× below the committed baseline.  Scales must
+    match — comparing tiny CI numbers against a default-scale baseline
+    would gate on noise.  A baseline missing a metric never fails (new
+    metrics phase in without flag days).
+    """
+    if max_regression < 1.0:
+        raise ValueError("max_regression must be >= 1.0")
+    failures: list[str] = []
+    if current.get("scale") != baseline.get("scale"):
+        failures.append(
+            f"scale mismatch: bench ran at {current.get('scale')!r} but "
+            f"baseline is {baseline.get('scale')!r}")
+        return failures
+    base_metrics = baseline.get("metrics", {})
+    cur_metrics = current.get("metrics", {})
+    for key in GATED_METRICS:
+        base = base_metrics.get(key)
+        cur = cur_metrics.get(key)
+        if base is None or cur is None:
+            continue
+        floor = base / max_regression
+        if cur < floor:
+            failures.append(
+                f"{key}: {cur:.2f} traj/s is more than "
+                f"{max_regression:g}x below the baseline {base:.2f} "
+                f"(floor {floor:.2f})")
+    if not current.get("equivalence", {}).get("allclose", False):
+        failures.append(
+            "batched detection no longer matches per-trajectory results "
+            f"(max abs diff "
+            f"{current.get('equivalence', {}).get('max_abs_diff')})")
+    return failures
+
+
+def format_bench_table(payload: dict) -> str:
+    """Render a bench payload as the README's throughput table."""
+    metrics = payload["metrics"]
+    rows = [
+        ("encode (per-trajectory loop)",
+         f"{metrics['encode_single_tps']:8.2f} traj/s", ""),
+        ("encode (batched)",
+         f"{metrics['encode_batch_tps']:8.2f} traj/s",
+         f"{metrics['encode_batch_speedup']:.1f}x"),
+        ("detect (per-trajectory loop)",
+         f"{metrics['detect_single_tps']:8.2f} traj/s", ""),
+        ("detect (batched)",
+         f"{metrics['detect_batch_tps']:8.2f} traj/s",
+         f"{metrics['detect_batch_speedup']:.1f}x"),
+        ("featurize (cold cache)",
+         f"{metrics['featurize_cold_s']:8.3f} s", ""),
+        ("featurize (warm cache)",
+         f"{metrics['featurize_warm_s']:8.3f} s",
+         f"{metrics['featurize_cache_speedup']:.0f}x"),
+    ]
+    if "train_tiny_wall_s" in metrics:
+        rows.append(("offline fit (tiny scale)",
+                     f"{metrics['train_tiny_wall_s']:8.2f} s", ""))
+    lines = [f"scale={payload['scale']}  "
+             f"trajectories={payload['num_test_trajectories']}  "
+             f"candidates={payload['num_candidates']}"]
+    lines.append(f"{'stage':<30} {'rate':>16} {'speedup':>8}")
+    for name, rate, speedup in rows:
+        lines.append(f"{name:<30} {rate:>16} {speedup:>8}")
+    eq = payload["equivalence"]
+    lines.append(f"batched == unbatched: allclose(rtol={eq['rtol']:g}) -> "
+                 f"{eq['allclose']} (max abs diff {eq['max_abs_diff']:.3g})")
+    return "\n".join(lines)

@@ -1,0 +1,196 @@
+"""Content-keyed caches for the featurization hot path.
+
+Featurization is LEAD's most-repeated computation: every candidate of a
+trajectory shares stay/move segments with its neighbours (candidate
+``(i', j')`` covers stays ``i'..j'``), the autoencoder's training loop
+featurizes the same candidates once per epoch, and the online stage
+featurizes a trajectory again on every ``detect`` call.  The z-scored
+feature matrix of a segment is a pure function of
+
+* the cleaned trajectory's coordinates (content, not object identity),
+* the segment's ``[start, end]`` index range and kind, and
+* the featurization context (normalizer statistics, feature scale,
+  subsampling cap, POI configuration),
+
+so it can be cached under a key derived from exactly those inputs.  A
+content key — rather than ``id()``-based memoization — means a reloaded
+or re-deserialized trajectory with identical bytes hits the same entry,
+and a refitted normalizer silently invalidates every stale entry because
+the context fingerprint changes.
+
+The cache is bounded (LRU) and purely additive: with ``maxsize=0`` every
+lookup misses and behaviour is bit-for-bit the uncached code path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable
+
+import numpy as np
+
+__all__ = ["CacheStats", "LRUCache", "TrajectoryFingerprinter",
+           "SegmentFeatureCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "hit_rate": self.hit_rate}
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    ``maxsize=0`` disables storage entirely (every ``get`` is a miss);
+    ``maxsize=None`` means unbounded.  Not thread-safe by design — the
+    repository's hot paths are single-threaded, and process-parallel
+    stages (:mod:`repro.perf.parallel`) ship work to subprocesses whose
+    caches are independent.
+    """
+
+    def __init__(self, maxsize: int | None = 65536) -> None:
+        if maxsize is not None and maxsize < 0:
+            raise ValueError("maxsize must be >= 0 or None")
+        self.maxsize = maxsize
+        self._data: OrderedDict[Hashable, object] = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable, default: object = None) -> object:
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.stats.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        if self.maxsize == 0:
+            return
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        if self.maxsize is not None:
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+def _digest(*parts: bytes) -> bytes:
+    hasher = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        hasher.update(part)
+    return hasher.digest()
+
+
+class TrajectoryFingerprinter:
+    """Content fingerprints of trajectories, memoized per live object.
+
+    Hashing a trajectory's coordinate arrays costs microseconds but would
+    still dominate a per-segment lookup if repeated for every segment;
+    the fingerprint is therefore memoized by object identity, holding a
+    reference to the trajectory so its ``id()`` cannot be recycled (the
+    same discipline as :class:`repro.features.FeatureExtractor`).
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self._memo: OrderedDict[int, tuple[object, bytes]] = OrderedDict()
+        self._max_entries = max_entries
+
+    def fingerprint(self, trajectory) -> bytes:
+        key = id(trajectory)
+        cached = self._memo.get(key)
+        if cached is not None and cached[0] is trajectory:
+            self._memo.move_to_end(key)
+            return cached[1]
+        digest = _digest(
+            np.ascontiguousarray(trajectory.lats, dtype=np.float64).tobytes(),
+            np.ascontiguousarray(trajectory.lngs, dtype=np.float64).tobytes(),
+            np.ascontiguousarray(trajectory.ts, dtype=np.float64).tobytes(),
+            repr((getattr(trajectory, "truck_id", None),
+                  getattr(trajectory, "day", None))).encode())
+        self._memo[key] = (trajectory, digest)
+        while len(self._memo) > self._max_entries:
+            self._memo.popitem(last=False)
+        return digest
+
+
+class SegmentFeatureCache:
+    """Content-keyed cache of per-segment feature matrices.
+
+    Keys combine the trajectory's content fingerprint, the segment's
+    ``(kind, start, end)`` coordinates, and a caller-supplied *context
+    fingerprint* covering everything else the featurization depends on
+    (normalizer statistics, feature scale, subsampling cap, POI config).
+    Values are the final z-scored, rescaled ``(L, F)`` matrices; callers
+    must treat them as read-only (the hot paths already do).
+    """
+
+    def __init__(self, maxsize: int | None = 65536) -> None:
+        self._lru = LRUCache(maxsize)
+        self._fingerprinter = TrajectoryFingerprinter()
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> CacheStats:
+        return self._lru.stats
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def key_for(self, segment, context: bytes) -> tuple:
+        """The cache key of one stay/move segment under a context."""
+        return (self._fingerprinter.fingerprint(segment.trajectory),
+                type(segment).__name__, segment.start, segment.end, context)
+
+    def get(self, segment, context: bytes) -> np.ndarray | None:
+        return self._lru.get(self.key_for(segment, context))
+
+    def put(self, segment, context: bytes, value: np.ndarray) -> None:
+        self._lru.put(self.key_for(segment, context), value)
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle as an *empty* cache of the same size.
+
+        Process-parallel stages pickle the featurizer (which owns a
+        cache) into worker processes; shipping megabytes of cached
+        matrices along would defeat the point, and entries rebuilt in a
+        worker are content-identical anyway.
+        """
+        return {"maxsize": self._lru.maxsize}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(maxsize=state["maxsize"])

@@ -59,6 +59,10 @@ class LEADConfig:
     stay_max_distance_m: float = 500.0   # Dmax
     stay_min_duration_s: float = 15.0 * 60.0  # Tmin
     max_autoencoder_samples: int | None = 3000
+    #: Capacity of the content-keyed per-segment feature cache shared by
+    #: training epochs and ``detect`` calls.  ``0`` disables caching
+    #: entirely (bit-for-bit the uncached code path, just slower).
+    feature_cache_size: int = 65536
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -66,6 +70,8 @@ class LEADConfig:
             raise ValueError("at least one detector direction is required")
         if self.detector_layers < 1 or self.detector_hidden < 1:
             raise ValueError("invalid detector size")
+        if self.feature_cache_size < 0:
+            raise ValueError("feature_cache_size must be >= 0")
 
     def build_processor(self) -> RawTrajectoryProcessor:
         return RawTrajectoryProcessor(

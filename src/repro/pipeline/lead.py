@@ -29,6 +29,7 @@ per model directory), and ``fit`` checkpoints every epoch when given a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from pathlib import Path
 
 import numpy as np
@@ -37,7 +38,8 @@ from ..data.poi import POIDatabase
 from ..data.dataset import LabeledSample
 from ..detection import (GroupDetector, IndependentDetector,
                          JointDetectorTrainer, TrajectorySpec,
-                         build_backward_group, build_forward_group,
+                         backward_index_maps, build_backward_group,
+                         build_forward_group, forward_index_maps,
                          index_to_pair, merge_distributions, pair_to_index)
 from ..encoding import (AutoencoderTrainer, HierarchicalAutoencoder)
 from ..errors import (ArtifactCorruptedError, DetectorUnavailableError,
@@ -50,6 +52,8 @@ from ..io import (atomic_write_json, load_checked_json, verify_manifest,
 from ..model import Trajectory
 from ..nn import (CheckpointManager, Tensor, TrainingHistory, load_module,
                   no_grad, save_module)
+from ..perf.cache import SegmentFeatureCache
+from ..perf.parallel import parallel_map
 from ..processing import ProcessedTrajectory, sanitize_trajectory
 from .config import LEADConfig
 
@@ -59,6 +63,16 @@ __all__ = ["LEAD", "DetectionResult", "DetectionProvenance", "FitReport"]
 #: direction each one needs.
 _TIER_DIRECTIONS = (("both", "both"), ("forward-only", "forward"),
                     ("backward-only", "backward"))
+
+
+def _process_sample(processor, sample: LabeledSample):
+    """Module-level worker task: process one labelled raw trajectory."""
+    return processor.process(sample.trajectory, sample.label)
+
+
+def _featurize_candidates(featurizer, processed: ProcessedTrajectory):
+    """Module-level worker task: featurize one trajectory's candidates."""
+    return featurizer.featurize_all(processed.candidates)
 
 
 @dataclass(frozen=True)
@@ -115,8 +129,11 @@ class LEAD:
         cfg = self.config
         self.processor = cfg.build_processor()
         self.extractor = FeatureExtractor(pois, cfg.feature)
+        self.feature_cache = (SegmentFeatureCache(cfg.feature_cache_size)
+                              if cfg.feature_cache_size else None)
         self.featurizer = CandidateFeaturizer(self.extractor,
-                                              ZScoreNormalizer())
+                                              ZScoreNormalizer(),
+                                              cache=self.feature_cache)
         self.autoencoder = HierarchicalAutoencoder(cfg.encoder)
         rng = np.random.default_rng(cfg.seed)
         cvec_dim = cfg.encoder.cvec_dim
@@ -146,22 +163,30 @@ class LEAD:
     # ------------------------------------------------------------------
     def fit(self, training: list[LabeledSample],
             verbose: bool = False,
-            checkpoint_dir: str | Path | None = None) -> FitReport:
+            checkpoint_dir: str | Path | None = None,
+            workers: int | None = None) -> FitReport:
         """Run the full offline stage on labelled raw trajectories.
 
         With ``checkpoint_dir``, both training loops persist their full
         state after every epoch; re-calling ``fit`` with the same
         directory after a crash retrains only the epochs that were never
         completed and yields bit-for-bit the same model.
+
+        ``workers`` parallelizes the embarrassingly parallel offline
+        stages (trajectory processing, candidate featurization) across
+        processes; the result is identical for any worker count because
+        those stages are pure functions of their inputs (see
+        :mod:`repro.perf.parallel`).  Training itself stays serial — it
+        is a sequential optimization loop.
         """
-        processed = self._process_training(training)
+        processed = self._process_training(training, workers)
         if not processed:
             raise InvalidTrajectoryError("no usable training trajectories")
         self.featurizer.fit_normalizer([p.cleaned for p, _ in processed])
         ae_ckpt, det_ckpt = self._checkpoints(checkpoint_dir)
         report = FitReport(
             autoencoder_history=self._fit_autoencoder(processed, verbose,
-                                                      ae_ckpt),
+                                                      ae_ckpt, workers),
             num_trajectories_used=len(processed))
         report.num_autoencoder_samples = self._last_report_samples
         detector_specs = self._build_detector_specs(processed)
@@ -206,27 +231,30 @@ class LEAD:
         return (CheckpointManager(directory, "autoencoder"),
                 CheckpointManager(directory, "detectors"))
 
-    def _process_training(self, training: list[LabeledSample]
+    def _process_training(self, training: list[LabeledSample],
+                          workers: int | None = None
                           ) -> list[tuple[ProcessedTrajectory,
                                           tuple[int, int]]]:
+        results = parallel_map(partial(_process_sample, self.processor),
+                               training, workers=workers)
         out = []
-        for sample in training:
-            processed = self.processor.process(sample.trajectory,
-                                               sample.label)
+        for processed in results:
             if processed is None or processed.label_pair is None:
                 continue  # unusable day, as in the paper's data cleaning
             out.append((processed, processed.label_pair))
         return out
 
     def _fit_autoencoder(self, processed, verbose: bool,
-                         checkpoint: CheckpointManager | None = None
-                         ) -> TrainingHistory:
+                         checkpoint: CheckpointManager | None = None,
+                         workers: int | None = None) -> TrainingHistory:
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
         features = []
-        for trajectory, _ in processed:
-            features.extend(self.featurizer.featurize_all(
-                trajectory.candidates))
+        for per_trajectory in parallel_map(
+                partial(_featurize_candidates, self.featurizer),
+                [trajectory for trajectory, _ in processed],
+                workers=workers):
+            features.extend(per_trajectory)
         rng.shuffle(features)
         if cfg.max_autoencoder_samples is not None:
             features = features[:cfg.max_autoencoder_samples]
@@ -238,9 +266,9 @@ class LEAD:
 
     def _segments(self, processed: ProcessedTrajectory
                   ) -> tuple[list[np.ndarray], list[np.ndarray]]:
-        stay = [self.featurizer._segment_features(sp)
+        stay = [self.featurizer.segment_features(sp)
                 for sp in processed.stay_points]
-        move = [self.featurizer._segment_features(mp)
+        move = [self.featurizer.segment_features(mp)
                 for mp in processed.move_points]
         return stay, move
 
@@ -249,6 +277,26 @@ class LEAD:
         stay, move = self._segments(processed)
         pairs = [c.pair for c in processed.candidates]
         return self.autoencoder.encode_trajectory(stay, move, pairs)
+
+    def encode_candidates_batch(self, processed_list:
+                                list[ProcessedTrajectory]
+                                ) -> list[np.ndarray]:
+        """c-vecs of every candidate of many trajectories, batched.
+
+        One phase-1 compressor pass per branch covers every segment of
+        every trajectory, and phase 2 runs over the merged candidate set
+        in shape buckets — the cross-trajectory analogue of
+        :meth:`encode_candidates` (results ``allclose``, and the list
+        lines up with the input order).
+        """
+        stay_lists, move_lists, pairs_lists = [], [], []
+        for processed in processed_list:
+            stay, move = self._segments(processed)
+            stay_lists.append(stay)
+            move_lists.append(move)
+            pairs_lists.append([c.pair for c in processed.candidates])
+        return self.autoencoder.encode_trajectories(stay_lists, move_lists,
+                                                    pairs_lists)
 
     def _build_detector_specs(self, processed) -> list[TrajectorySpec]:
         specs = []
@@ -342,6 +390,193 @@ class LEAD:
             tier = "independent"
         return DetectionResult(pair, distribution, processed,
                                DetectionProvenance(tier=tier))
+
+    # ------------------------------------------------------------------
+    # Batched online stage (fleet-scale throughput)
+    # ------------------------------------------------------------------
+    def _predict_many(self, processed_list: list[ProcessedTrajectory],
+                      direction: str = "both") -> list[np.ndarray]:
+        """Merged distributions for many trajectories, *without* the
+        finiteness check (callers apply it per trajectory).
+
+        The shared detector forward merges every trajectory's subgroups
+        into one padded batch; ``segments`` keeps the flat softmax
+        per-trajectory, so each returned distribution equals the
+        single-trajectory :meth:`predict_distribution` output up to GEMM
+        associativity.
+        """
+        if not processed_list:
+            return []
+        cvecs_list = self.encode_candidates_batch(processed_list)
+        counts = np.array([len(c) for c in cvecs_list], dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+        ns = [p.num_stay_points for p in processed_list]
+        with no_grad():
+            if self.independent_detector is not None:
+                probs = self.independent_detector(
+                    Tensor(np.concatenate(cvecs_list, axis=0))).numpy()
+                return [merge_distributions(probs[int(a):int(b)])
+                        for a, b in zip(offsets[:-1], offsets[1:])]
+            if direction == "both" and (self.forward_detector is None
+                                        or self.backward_detector is None):
+                missing = ("forward" if self.forward_detector is None
+                           else "backward")
+                raise DetectorUnavailableError(
+                    f"direction 'both' requires both detectors; the "
+                    f"{missing} detector is unavailable")
+            forward = backward = None
+            all_cvecs = Tensor(np.concatenate(cvecs_list, axis=0))
+            if self.forward_detector is not None and direction in (
+                    "both", "forward"):
+                maps: list[np.ndarray] = []
+                for n, off in zip(ns, offsets[:-1]):
+                    maps.extend(m + int(off) for m in forward_index_maps(n))
+                forward = self.forward_detector.score_indexed(
+                    all_cvecs, maps, segments=counts, bucket=True).numpy()
+            if self.backward_detector is not None and direction in (
+                    "both", "backward"):
+                maps = []
+                for n, off in zip(ns, offsets[:-1]):
+                    maps.extend(m + int(off) for m in backward_index_maps(n))
+                backward = self.backward_detector.score_indexed(
+                    all_cvecs, maps, segments=counts, bucket=True).numpy()
+        if forward is None and backward is None:
+            raise DetectorUnavailableError(
+                f"direction {direction!r} selects no available detector")
+        out: list[np.ndarray] = []
+        for a, b in zip(offsets[:-1], offsets[1:]):
+            fwd = None if forward is None else forward[int(a):int(b)]
+            bwd = None if backward is None else backward[int(a):int(b)]
+            if fwd is None:
+                out.append(merge_distributions(bwd))
+            else:
+                out.append(merge_distributions(fwd, bwd))
+        return out
+
+    def predict_distribution_batch(self,
+                                   processed_list:
+                                   list[ProcessedTrajectory],
+                                   direction: str = "both"
+                                   ) -> list[np.ndarray]:
+        """Batched :meth:`predict_distribution` over many trajectories.
+
+        Same strict semantics (raises on unavailable detectors or any
+        non-finite distribution); results line up with the input order
+        and are ``allclose`` to per-trajectory calls.
+        """
+        self._require_fitted()
+        return [self._checked(d)
+                for d in self._predict_many(processed_list, direction)]
+
+    def detect_processed_batch(self,
+                               processed_list: list[ProcessedTrajectory],
+                               direction: str = "both"
+                               ) -> list[DetectionResult]:
+        """Strict batched detection (the batch analogue of
+        :meth:`detect_processed`; raises on failure)."""
+        distributions = self.predict_distribution_batch(processed_list,
+                                                        direction)
+        tier = {"both": "both", "forward": "forward-only",
+                "backward": "backward-only"}.get(direction, direction)
+        if self.independent_detector is not None:
+            tier = "independent"
+        results = []
+        for processed, distribution in zip(processed_list, distributions):
+            pair = index_to_pair(processed.num_stay_points,
+                                 int(np.argmax(distribution)))
+            results.append(DetectionResult(pair, distribution, processed,
+                                           DetectionProvenance(tier=tier)))
+        return results
+
+    def detect_batch(self, trajectories: list[Trajectory]
+                     ) -> list[DetectionResult | None]:
+        """Fleet-scale :meth:`detect`: many raw trajectories, one pass.
+
+        Sanitization and processing run per trajectory (they are cheap
+        and can fail independently); every surviving trajectory's
+        candidates then share batched encoder and detector forwards.
+        The degradation chain is preserved per trajectory: a trajectory
+        whose distribution is non-finite at one tier retries the lower
+        tiers alone, exactly as in :meth:`detect`, and the returned
+        provenance (tier, ``sanitized``, notes) matches the
+        per-trajectory path.  Returns one entry per input, ``None``
+        where :meth:`detect` would return ``None``.
+        """
+        self._require_fitted()
+        results: list[DetectionResult | None] = [None] * len(trajectories)
+        pending_idx: list[int] = []
+        pending_processed: list[ProcessedTrajectory] = []
+        pending_notes: list[list[str]] = []
+        for idx, trajectory in enumerate(trajectories):
+            try:
+                trajectory, sanitize_notes = sanitize_trajectory(trajectory)
+            except InvalidTrajectoryError:
+                continue
+            try:
+                processed = self.processor.process(trajectory)
+            except (ValueError, ArithmeticError):
+                continue
+            if processed is None:
+                continue
+            pending_idx.append(idx)
+            pending_processed.append(processed)
+            pending_notes.append(list(sanitize_notes))
+        detected = self._detect_many_with_degradation(pending_processed,
+                                                      pending_notes)
+        for idx, result in zip(pending_idx, detected):
+            results[idx] = result
+        return results
+
+    def _detect_many_with_degradation(
+            self, processed_list: list[ProcessedTrajectory],
+            notes_list: list[list[str]]) -> list[DetectionResult]:
+        """Batched tier walk mirroring :meth:`_detect_with_degradation`.
+
+        Each tier runs one batched forward over the trajectories still
+        unresolved; structural failures (a direction with no live
+        detector) disqualify the tier for everyone with the same note
+        the serial path records, while per-trajectory numerical failures
+        only push that trajectory down to the next tier.
+        """
+        results: list[DetectionResult | None] = [None] * len(processed_list)
+        notes = [list(n) for n in notes_list]
+        sanitized = [bool(n) for n in notes_list]
+        if self.independent_detector is not None:
+            tiers: tuple[tuple[str, str], ...] = (("independent", "both"),)
+        else:
+            tiers = _TIER_DIRECTIONS
+        pending = list(range(len(processed_list)))
+        for tier, direction in tiers:
+            if not pending:
+                break
+            try:
+                raw = self._predict_many(
+                    [processed_list[k] for k in pending], direction)
+            except DetectorUnavailableError as exc:
+                for k in pending:
+                    notes[k].append(f"tier {tier!r} failed: {exc}")
+                continue
+            unresolved: list[int] = []
+            for k, distribution in zip(pending, raw):
+                if not np.isfinite(distribution).all():
+                    exc = NumericalInstabilityError(
+                        "detector produced a non-finite probability "
+                        "distribution")
+                    notes[k].append(f"tier {tier!r} failed: {exc}")
+                    unresolved.append(k)
+                    continue
+                processed = processed_list[k]
+                pair = index_to_pair(processed.num_stay_points,
+                                     int(np.argmax(distribution)))
+                results[k] = DetectionResult(
+                    pair, distribution, processed,
+                    DetectionProvenance(tier=tier, sanitized=sanitized[k],
+                                        notes=tuple(notes[k])))
+            pending = unresolved
+        for k in pending:
+            results[k] = self._fallback_result(processed_list[k], notes[k],
+                                               sanitized[k])
+        return results  # type: ignore[return-value]
 
     def detect(self, trajectory: Trajectory) -> DetectionResult | None:
         """Full online pipeline on a raw trajectory, never crashing.

@@ -1,0 +1,402 @@
+"""Tests for the throughput layer: caching, batching, parallel seeding.
+
+Three contracts are nailed down here:
+
+1. **Batched == per-trajectory.**  ``detect_batch`` /
+   ``predict_distribution_batch`` / ``encode_candidates_batch`` return
+   the same answers as their serial counterparts (``allclose`` at
+   ``rtol=1e-9``), including degradation-tier provenance when detectors
+   are knocked out.
+2. **Cache correctness.**  The content-keyed segment cache serves
+   repeated featurizations without recomputation, returns identical
+   matrices, and invalidates itself when the normalizer refits.
+3. **Schedule-independent randomness.**  Dataset generation with
+   per-task seeding is bit-identical for any worker count.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import (DatasetConfig, SyntheticWorld, WorldConfig,
+                        generate_dataset)
+from repro.detection import DetectorTrainingConfig
+from repro.encoding import AutoencoderTrainingConfig
+from repro.encoding.autoencoder import build_pair_indices
+from repro.perf import (LRUCache, SegmentFeatureCache, compare_to_baseline,
+                        effective_workers, parallel_map, spawn_rng)
+from repro.pipeline import LEAD, LEADConfig
+
+
+def tiny_lead_config(**overrides) -> LEADConfig:
+    base = dict(
+        encoder_training=AutoencoderTrainingConfig(
+            epochs=1, max_samples_per_epoch=30, batch_size=8, seed=0),
+        detector_training=DetectorTrainingConfig(
+            epochs=1, batch_size=4, seed=0),
+        max_autoencoder_samples=40,
+        seed=0)
+    base.update(overrides)
+    return LEADConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def world_and_data():
+    world = SyntheticWorld(WorldConfig(seed=6))
+    dataset = generate_dataset(
+        DatasetConfig(num_trajectories=12, num_trucks=5, seed=6),
+        world=world)
+    return world, dataset
+
+
+@pytest.fixture(scope="module")
+def fitted(world_and_data):
+    world, dataset = world_and_data
+    lead = LEAD(world.pois, tiny_lead_config())
+    lead.fit(dataset.samples[:8])
+    return lead, dataset
+
+
+# ---------------------------------------------------------------------------
+# 1. Batched inference == per-trajectory inference
+# ---------------------------------------------------------------------------
+class TestBatchedEquivalence:
+    def test_encode_candidates_batch_matches_loop(self, fitted):
+        lead, dataset = fitted
+        processed = self._processed(lead, dataset)
+        loop = [lead.encode_candidates(p) for p in processed]
+        batched = lead.encode_candidates_batch(processed)
+        assert len(batched) == len(loop)
+        for single, merged in zip(loop, batched):
+            assert merged.shape == single.shape
+            assert np.allclose(single, merged, rtol=1e-9, atol=0.0)
+
+    def test_predict_distribution_batch_matches_loop(self, fitted):
+        lead, dataset = fitted
+        processed = self._processed(lead, dataset)
+        loop = [lead.predict_distribution(p) for p in processed]
+        batched = lead.predict_distribution_batch(processed)
+        for single, merged in zip(loop, batched):
+            assert np.allclose(single, merged, rtol=1e-9, atol=0.0)
+
+    def test_detect_batch_matches_detect(self, fitted):
+        lead, dataset = fitted
+        trajectories = [s.trajectory for s in dataset.samples[8:]]
+        singles = [lead.detect(t) for t in trajectories]
+        batched = lead.detect_batch(trajectories)
+        assert len(batched) == len(singles)
+        for single, merged in zip(singles, batched):
+            assert (single is None) == (merged is None)
+            if single is None:
+                continue
+            assert merged.pair == single.pair
+            assert merged.provenance == single.provenance
+            assert np.allclose(single.distribution, merged.distribution,
+                               rtol=1e-9, atol=0.0)
+
+    def test_detect_batch_degraded_provenance(self, world_and_data, fitted):
+        """Knocking out a detector degrades batched results exactly like
+        serial ones — same tier, same failure notes."""
+        world, dataset = world_and_data
+        lead, _ = fitted
+        crippled = LEAD(world.pois, tiny_lead_config())
+        # Share the trained state, then knock out the backward detector.
+        crippled.featurizer.normalizer = lead.featurizer.normalizer
+        crippled.autoencoder = lead.autoencoder
+        crippled.forward_detector = lead.forward_detector
+        crippled.backward_detector = None
+        crippled._fitted = True
+        trajectories = [s.trajectory for s in dataset.samples[8:]]
+        singles = [crippled.detect(t) for t in trajectories]
+        batched = crippled.detect_batch(trajectories)
+        answered = 0
+        for single, merged in zip(singles, batched):
+            assert (single is None) == (merged is None)
+            if single is None:
+                continue
+            answered += 1
+            assert single.provenance.tier == "forward-only"
+            assert merged.provenance == single.provenance
+            assert any("tier 'both' failed" in note
+                       for note in merged.provenance.notes)
+            assert merged.pair == single.pair
+        assert answered > 0
+
+    def test_detect_batch_handles_hostile_entries(self, fitted):
+        """A batch mixing valid and unsalvageable trajectories keeps
+        slots aligned: None exactly where detect() says None."""
+        lead, dataset = fitted
+        good = dataset.samples[8].trajectory
+        # Too few points to yield two stay points: detect() returns None.
+        bad = type(good)(good.lats[:3], good.lngs[:3], good.ts[:3],
+                         truck_id=good.truck_id, day=good.day)
+        results = lead.detect_batch([bad, good, bad])
+        assert results[0] is None and results[2] is None
+        assert results[1] is not None
+        assert results[1].pair == lead.detect(good).pair
+
+    def test_empty_batch(self, fitted):
+        lead, _ = fitted
+        assert lead.detect_batch([]) == []
+        assert lead.predict_distribution_batch([]) == []
+
+    def test_score_indexed_bucketed_matches_padded(self):
+        """Length-bucketed BiLSTM scoring == one globally padded pass."""
+        from repro.detection.detectors import GroupDetector
+        from repro.detection.grouping import forward_index_maps
+        from repro.nn import Tensor, no_grad
+        rng = np.random.default_rng(3)
+        detector = GroupDetector(input_dim=8, hidden_size=8, num_layers=2,
+                                 rng=np.random.default_rng(0))
+        # Two merged "trajectories" with very different subgroup lengths.
+        maps: list[np.ndarray] = []
+        counts = []
+        offset = 0
+        for n in (4, 9):
+            maps.extend(m + offset for m in forward_index_maps(n))
+            counts.append(n * (n - 1) // 2)
+            offset += counts[-1]
+        cvecs = Tensor(rng.normal(size=(offset, 8)))
+        segments = np.array(counts)
+        with no_grad():
+            padded = detector.score_indexed(cvecs, maps, segments=segments)
+            bucketed = detector.score_indexed(cvecs, maps, segments=segments,
+                                              bucket=True)
+        assert np.allclose(padded.numpy(), bucketed.numpy(),
+                           rtol=1e-9, atol=0.0)
+
+    @staticmethod
+    def _processed(lead, dataset):
+        processed = [lead.processor.process(s.trajectory)
+                     for s in dataset.samples[8:]]
+        return [p for p in processed if p is not None]
+
+
+# ---------------------------------------------------------------------------
+# 2. Featurization cache
+# ---------------------------------------------------------------------------
+class TestSegmentFeatureCache:
+    def test_featurize_twice_computes_once(self, fitted):
+        lead, dataset = fitted
+        processed = lead.processor.process(dataset.samples[8].trajectory)
+        assert processed is not None
+        lead.feature_cache.clear()
+        stats = lead.feature_cache.stats
+        base_misses = stats.misses
+        first = lead._segments(processed)
+        misses_after_first = stats.misses - base_misses
+        assert misses_after_first == (len(processed.stay_points)
+                                      + len(processed.move_points))
+        hits_before = stats.hits
+        second = lead._segments(processed)
+        assert stats.misses - base_misses == misses_after_first  # no recompute
+        assert stats.hits - hits_before == misses_after_first
+        for a, b in zip(first[0] + first[1], second[0] + second[1]):
+            assert a is b  # literally the cached object
+
+    def test_content_keyed_across_objects(self, fitted):
+        """A reloaded trajectory with identical bytes hits the same
+        entries: the key is content, not object identity."""
+        lead, dataset = fitted
+        sample = dataset.samples[8]
+        clone = type(sample).from_dict(
+            json.loads(json.dumps(sample.to_dict())))
+        p1 = lead.processor.process(sample.trajectory)
+        p2 = lead.processor.process(clone.trajectory)
+        lead.feature_cache.clear()
+        lead._segments(p1)
+        misses = lead.feature_cache.stats.misses
+        lead._segments(p2)
+        assert lead.feature_cache.stats.misses == misses  # all hits
+
+    def test_normalizer_refit_invalidates(self, fitted):
+        lead, dataset = fitted
+        featurizer = lead.featurizer
+        before = featurizer.context_fingerprint()
+        mean, std = (featurizer.normalizer.mean_.copy(),
+                     featurizer.normalizer.std_.copy())
+        try:
+            featurizer.normalizer.fit(
+                np.random.default_rng(0).normal(size=(8, mean.shape[0])))
+            assert featurizer.context_fingerprint() != before
+        finally:
+            featurizer.normalizer.mean_ = mean
+            featurizer.normalizer.std_ = std
+        assert featurizer.context_fingerprint() == before
+
+    def test_disabled_cache_is_bit_identical(self, world_and_data, fitted):
+        world, dataset = world_and_data
+        lead, _ = fitted
+        bare = LEAD(world.pois, tiny_lead_config(feature_cache_size=0))
+        assert bare.feature_cache is None
+        bare.featurizer.normalizer = lead.featurizer.normalizer
+        processed = lead.processor.process(dataset.samples[8].trajectory)
+        cached_stay, cached_move = lead._segments(processed)
+        bare_stay, bare_move = bare._segments(processed)
+        for a, b in zip(cached_stay + cached_move, bare_stay + bare_move):
+            assert np.array_equal(a, b)
+
+    def test_lru_bounds_and_stats(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1      # refresh 'a'
+        cache.put("c", 3)               # evicts 'b'
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.stats.evictions == 1
+        assert 0.0 < cache.stats.hit_rate < 1.0
+
+    def test_cache_pickles_empty(self, fitted):
+        import pickle
+        lead, _ = fitted
+        assert len(lead.feature_cache) > 0
+        clone = pickle.loads(pickle.dumps(lead.feature_cache))
+        assert len(clone) == 0
+        assert clone._lru.maxsize == lead.feature_cache._lru.maxsize
+
+
+# ---------------------------------------------------------------------------
+# 3. Deterministic parallelism
+# ---------------------------------------------------------------------------
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestParallel:
+    def test_parallel_map_preserves_order(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, workers=2) == \
+            [x * x for x in items]
+
+    def test_effective_workers(self):
+        assert effective_workers(None) == 1
+        assert effective_workers(0) == 1
+        assert effective_workers(3) == 3
+        assert effective_workers(-1) >= 1
+
+    def test_spawn_rng_depends_only_on_key(self):
+        a = spawn_rng(7, 3).random(4)
+        b = spawn_rng(7, 3).random(4)
+        c = spawn_rng(7, 4).random(4)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_generate_dataset_worker_count_invariant(self):
+        """--workers 2 produces a bit-identical dataset to serial
+        (workers=1) generation: randomness is keyed by task, never by
+        schedule."""
+        def build(workers):
+            return generate_dataset(
+                DatasetConfig(num_trajectories=6, num_trucks=3, seed=11),
+                world=SyntheticWorld(WorldConfig(seed=11)),
+                workers=workers)
+        serial = build(1)
+        parallel = build(2)
+        assert len(serial) == len(parallel)
+        for a, b in zip(serial, parallel):
+            assert a.trajectory.truck_id == b.trajectory.truck_id
+            assert a.trajectory.day == b.trajectory.day
+            assert np.array_equal(a.trajectory.lats, b.trajectory.lats)
+            assert np.array_equal(a.trajectory.lngs, b.trajectory.lngs)
+            assert np.array_equal(a.trajectory.ts, b.trajectory.ts)
+            assert a.label.to_dict() == b.label.to_dict()
+
+    def test_legacy_serial_path_unchanged(self):
+        """workers=None keeps the original shared-stream realization
+        (the datasets every cached artifact was built from)."""
+        cfg = DatasetConfig(num_trajectories=4, num_trucks=2, seed=11)
+        legacy = generate_dataset(cfg, world=SyntheticWorld(
+            WorldConfig(seed=11)))
+        keyed = generate_dataset(cfg, world=SyntheticWorld(
+            WorldConfig(seed=11)), workers=1)
+        assert not all(
+            np.array_equal(a.trajectory.lats, b.trajectory.lats)
+            for a, b in zip(legacy, keyed))
+
+    def test_fit_workers_matches_serial(self, world_and_data, fitted):
+        """The parallelizable offline stages feed training identically:
+        a model fitted with workers=2 equals the serial one."""
+        world, dataset = world_and_data
+        serial_lead, _ = fitted
+        parallel_lead = LEAD(world.pois, tiny_lead_config())
+        parallel_lead.fit(dataset.samples[:8], workers=2)
+        for name, module in serial_lead._detector_modules().items():
+            other = parallel_lead._detector_modules()[name]
+            for p, q in zip(module.parameters(), other.parameters()):
+                assert np.allclose(p.data, q.data, rtol=1e-9, atol=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# 4. Vectorized pair-index construction
+# ---------------------------------------------------------------------------
+class TestBuildPairIndices:
+    def test_matches_loop_construction(self):
+        pairs = [(1, 2), (1, 4), (2, 5), (3, 4), (2, 3)]
+        sp_lengths, mp_lengths, sp_index, mp_index = \
+            build_pair_indices(pairs)
+        for row, (i, j) in enumerate(pairs):
+            assert sp_lengths[row] == j - i + 1
+            assert mp_lengths[row] == j - i
+            expect_sp = list(range(i - 1, j))
+            assert sp_index[row, :sp_lengths[row]].tolist() == expect_sp
+            expect_mp = list(range(i - 1, j - 1))
+            assert mp_index[row, :mp_lengths[row]].tolist() == expect_mp
+
+    def test_adjacent_stay_pairs(self):
+        pairs = [(1, 2), (2, 3), (3, 4)]
+        sp_lengths, mp_lengths, sp_index, mp_index = \
+            build_pair_indices(pairs)
+        assert mp_lengths.tolist() == [1, 1, 1]
+        assert mp_index.shape == (3, 1)
+        assert sp_index.shape == (3, 2)
+
+    def test_zero_move_lengths_do_not_crash(self):
+        """Degenerate single-stay pairs have mp_length == 0 across the
+        whole batch; the move index must still be a well-formed (N, 1)
+        gather (fully masked) instead of crashing on ``max()`` of an
+        empty width."""
+        pairs = [(1, 1), (3, 3)]
+        sp_lengths, mp_lengths, sp_index, mp_index = \
+            build_pair_indices(pairs)
+        assert sp_lengths.tolist() == [1, 1]
+        assert mp_lengths.tolist() == [0, 0]
+        assert mp_index.shape == (2, 1)
+        assert (mp_index == 0).all()  # padded cells point at row 0
+
+
+# ---------------------------------------------------------------------------
+# 5. Regression-gate plumbing
+# ---------------------------------------------------------------------------
+class TestCompareToBaseline:
+    PAYLOAD = {
+        "scale": "tiny",
+        "metrics": {"encode_single_tps": 100.0, "encode_batch_tps": 300.0,
+                    "detect_single_tps": 50.0, "detect_batch_tps": 200.0},
+        "equivalence": {"allclose": True, "max_abs_diff": 1e-15},
+    }
+
+    def test_self_comparison_passes(self):
+        assert compare_to_baseline(self.PAYLOAD, self.PAYLOAD) == []
+
+    def test_large_regression_fails(self):
+        slow = json.loads(json.dumps(self.PAYLOAD))
+        slow["metrics"]["detect_batch_tps"] = 50.0  # 4x below baseline
+        failures = compare_to_baseline(slow, self.PAYLOAD,
+                                       max_regression=2.0)
+        assert len(failures) == 1 and "detect_batch_tps" in failures[0]
+
+    def test_scale_mismatch_fails(self):
+        other = json.loads(json.dumps(self.PAYLOAD))
+        other["scale"] = "default"
+        assert any("scale mismatch" in f
+                   for f in compare_to_baseline(other, self.PAYLOAD))
+
+    def test_equivalence_breakage_fails(self):
+        broken = json.loads(json.dumps(self.PAYLOAD))
+        broken["equivalence"]["allclose"] = False
+        assert any("no longer matches" in f
+                   for f in compare_to_baseline(broken, self.PAYLOAD))
