@@ -7,6 +7,8 @@ experiment artifacts:
   (the ``detect_batch`` acceptance criterion: batched detection must
   beat the per-trajectory loop);
 * cold- vs warm-cache featurization (the content-keyed segment cache);
+* fused-kernel vs legacy-tape autoencoder training throughput (PR 3:
+  the fused default must beat the per-step tape);
 * the end-to-end ``repro bench`` harness itself, asserting the payload
   it writes is well-formed and that batched == unbatched holds.
 
@@ -64,12 +66,41 @@ def test_featurize_warm_cache(trained_lead, test_processed, benchmark):
         assert trained_lead.feature_cache.stats.hit_rate > 0.5
 
 
+def test_train_fused_vs_legacy_tape(trained_lead, test_processed, benchmark):
+    """Fused training must beat the legacy per-step tape on real data."""
+    import time
+
+    from repro.encoding import (AutoencoderTrainer,
+                                AutoencoderTrainingConfig,
+                                HierarchicalAutoencoder)
+    samples = []
+    for processed in test_processed:
+        samples.extend(
+            trained_lead.featurizer.featurize_all(processed.candidates))
+        if len(samples) >= 64:
+            break
+
+    def fit(cfg: AutoencoderTrainingConfig) -> float:
+        model = HierarchicalAutoencoder(trained_lead.config.encoder)
+        start = time.perf_counter()
+        AutoencoderTrainer(model, cfg).fit(samples)
+        return time.perf_counter() - start
+
+    fused_s = benchmark(
+        lambda: fit(AutoencoderTrainingConfig(epochs=1, seed=0)))
+    legacy_s = fit(AutoencoderTrainingConfig(epochs=1, seed=0, fused=False,
+                                             bucket_batches=False))
+    assert fused_s < legacy_s
+
+
 def test_bench_harness_payload(tmp_path):
     from repro.perf import compare_to_baseline, run_bench
     payload = run_bench(repeats=1, train_wall=False)
     assert payload["equivalence"]["allclose"]
     for key in ("encode_single_tps", "encode_batch_tps",
-                "detect_single_tps", "detect_batch_tps"):
+                "detect_single_tps", "detect_batch_tps",
+                "train_steps_fused_sps", "train_steps_unfused_sps"):
         assert payload["metrics"][key] > 0
+    assert payload["metrics"]["train_fused_speedup"] > 1.0
     # A payload never regresses against itself.
     assert compare_to_baseline(payload, payload) == []

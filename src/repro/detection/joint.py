@@ -19,7 +19,7 @@ import numpy as np
 
 from ..encoding import HierarchicalAutoencoder
 from ..nn import (Adam, CheckpointManager, EarlyStopping, TrainingHistory,
-                  bce_loss, clip_grad_norm, concat, kld_loss)
+                  bce_loss, clip_grad_norm, concat, kld_loss, use_fused)
 from .detectors import GroupDetector, IndependentDetector
 from .grouping import backward_index_maps, forward_index_maps
 from .labels import smooth_label
@@ -119,19 +119,20 @@ class JointDetectorTrainer:
                 break
             order = rng.permutation(len(specs))
             totals = np.zeros(len(histories))
-            for start in range(0, len(order), cfg.batch_size):
-                batch = [specs[int(c)]
-                         for c in order[start:start + cfg.batch_size]]
-                losses = self._batch_losses(batch)
-                total_loss = losses[0]
-                for extra in losses[1:]:
-                    total_loss = total_loss + extra
-                optimizer.zero_grad()
-                (total_loss * (1.0 / len(batch))).backward()
-                clip_grad_norm(optimizer.parameters, cfg.max_grad_norm)
-                optimizer.step()
-                for d, loss in enumerate(losses):
-                    totals[d] += loss.item()
+            with use_fused(cfg.fused):
+                for start in range(0, len(order), cfg.batch_size):
+                    batch = [specs[int(c)]
+                             for c in order[start:start + cfg.batch_size]]
+                    losses = self._batch_losses(batch)
+                    total_loss = losses[0]
+                    for extra in losses[1:]:
+                        total_loss = total_loss + extra
+                    optimizer.zero_grad()
+                    (total_loss * (1.0 / len(batch))).backward()
+                    clip_grad_norm(optimizer.parameters, cfg.max_grad_norm)
+                    optimizer.step()
+                    for d, loss in enumerate(losses):
+                        totals[d] += loss.item()
             for d, history in enumerate(histories):
                 history.record(totals[d] / len(order))
             if verbose:

@@ -15,8 +15,17 @@ import numpy as np
 
 from ..nn import (Linear, LSTM, LSTMDecoder, Module, SelfAttentionAggregator,
                   Tensor)
+from ..nn.fused import fused_enabled, mlp_head
+from ..nn.tensor import is_grad_enabled
 
 __all__ = ["CompressionOperator", "DecompressionOperator"]
+
+
+def _head(fc1: Linear, fc2: Linear, x: Tensor) -> Tensor:
+    """``tanh(fc2(fc1(x)))`` — one fused tape node when fusion is on."""
+    if fused_enabled() and is_grad_enabled():
+        return mlp_head(x, fc1.weight, fc1.bias, fc2.weight, fc2.bias)
+    return fc2(fc1(x)).tanh()
 
 
 class CompressionOperator(Module):
@@ -46,7 +55,7 @@ class CompressionOperator(Module):
             aggregated = self.attention(outputs, last_hidden, lengths)
         else:
             aggregated = last_hidden
-        return self.fc2(self.fc1(aggregated)).tanh()
+        return _head(self.fc1, self.fc2, aggregated)
 
 
 class DecompressionOperator(Module):
@@ -64,4 +73,4 @@ class DecompressionOperator(Module):
                 lengths: np.ndarray | None = None) -> Tensor:
         """Expand ``(B, D)`` into ``(B, steps, output_size)``."""
         hidden = self.decoder(v, steps, lengths)
-        return self.fc2(self.fc1(hidden)).tanh()
+        return _head(self.fc1, self.fc2, hidden)

@@ -7,6 +7,8 @@ needs (see DESIGN.md S1-S4).
 
 from .attention import SelfAttentionAggregator, masked_softmax
 from .checkpoint import CheckpointManager, CheckpointState
+from .fused import (fused_enabled, gru_sequence, lstm_decode, lstm_sequence,
+                    use_fused)
 from .init import orthogonal, xavier_uniform
 from .layers import Linear, Sequential
 from .losses import bce_loss, kld_loss, mse_loss
@@ -23,6 +25,8 @@ __all__ = [
     "Module", "Parameter", "Linear", "Sequential",
     "LSTMCell", "GRUCell", "LSTM", "GRU", "BiLSTMLayer", "StackedBiLSTM",
     "LSTMDecoder", "sequence_mask",
+    "lstm_sequence", "gru_sequence", "lstm_decode",
+    "use_fused", "fused_enabled",
     "SelfAttentionAggregator", "masked_softmax",
     "mse_loss", "kld_loss", "bce_loss",
     "Optimizer", "SGD", "Adam", "clip_grad_norm",

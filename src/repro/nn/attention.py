@@ -11,7 +11,7 @@ import numpy as np
 
 from .layers import Linear
 from .module import Module
-from .tensor import Tensor
+from .tensor import Tensor, is_grad_enabled
 
 __all__ = ["SelfAttentionAggregator", "masked_softmax"]
 
@@ -57,6 +57,15 @@ class SelfAttentionAggregator(Module):
         if hidden != self.hidden_size:
             raise ValueError(
                 f"expected hidden size {self.hidden_size}, got {hidden}")
+        from .fused import attention_pool, fused_enabled
+        if fused_enabled() and is_grad_enabled():
+            # One tape node for the whole aggregation; bit-identical
+            # values (see :func:`repro.nn.fused.attention_pool`).
+            return attention_pool(
+                outputs, last_hidden,
+                self.query.weight, self.query.bias,
+                self.key.weight, self.key.bias,
+                lengths, neg_inf=_NEG_INF)
         q = self.query(last_hidden)                      # (B, H)
         k = self.key(outputs)                            # (B, T, H)
         scores = (k * q.reshape(batch, 1, hidden)).sum(axis=2) * self._scale

@@ -1,0 +1,724 @@
+"""Fused recurrent kernels: whole-sequence custom autograd ops.
+
+The per-step recurrent drivers in :mod:`repro.nn.rnn` are correct but
+tape-heavy: every LSTM timestep records ~20 closure-graph ``Tensor``
+nodes (gate slices, sigmoids, four elementwise products, the freeze-mask
+blend), gate slicing backpropagates through gradient scatters, and
+``stack()`` re-copies all ``T`` hidden states at the end.  On CPU that
+bookkeeping — not the GEMMs — dominates training wall-clock.
+
+This module collapses the tape: :func:`lstm_sequence`,
+:func:`gru_sequence` and :func:`lstm_decode` run the entire ``(B, T, ·)``
+time loop in raw numpy with preallocated gate/state buffers, caching the
+activations (``i, f, g, o, c, tanh(c)`` for the LSTM; ``r, z, n`` and
+the recurrent candidate projection for the GRU) that the hand-derived
+full-BPTT backward needs.  Each call contributes **one** node to the
+autograd tape instead of ``O(T · 20)``.  The per-step inner loops write
+through ``out=`` into reused scratch buffers, the four gate sigmoids are
+one fused ``(B, 4H)`` pass, and the backward hoists all activation
+derivatives (``σ'``, ``tanh'``) out of the time loop into two
+whole-tape vectorized products.
+
+Numerical contract
+------------------
+The fused forward replays the floating-point operation order of the
+per-step cells in :mod:`repro.nn.rnn` (same hoisted input GEMM, same
+``(x·W + h·W) + b`` association — float addition is commutative, so
+accumulating into the recurrent GEMM buffer is exact — same clipped
+sigmoid, same freeze-mask blend), so fused outputs are bit-identical to
+the unfused path and the batched==serial equivalence guarantees of the
+inference layer survive untouched.  The backward is algebraically the
+same BPTT the tape would perform; only the order in which per-step
+contributions are *summed* into the weight gradients differs (one big
+GEMM instead of ``T`` small ones), which perturbs gradients at the
+level of float64 associativity (~1e-15 relative), far inside the
+``rtol=1e-9`` budget enforced by ``tests/test_fused.py``.
+
+Freeze-mask semantics for padding are preserved end to end: a padded
+step carries both state and gradient through unchanged, so all-padded
+rows produce zero states and zero gradients.
+
+The fused path is on by default; :class:`use_fused` toggles it
+per-thread (the flag lives in ``threading.local`` for the same reason
+the grad mode does — parallel detect workers must not corrupt each
+other's mode).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from .tensor import Tensor, is_grad_enabled
+
+try:  # pragma: no cover - numpy-internal fast path
+    from numpy._core.umath import clip as _clip_ufunc
+except ImportError:  # pragma: no cover
+    def _clip_ufunc(a, lo, hi, out):
+        return a.clip(lo, hi, out=out)
+
+__all__ = ["lstm_sequence", "gru_sequence", "lstm_decode",
+           "affine", "attention_pool", "mlp_head",
+           "use_fused", "fused_enabled"]
+
+#: Per-thread toggle for the fused sequence kernels (default: enabled).
+_FUSED_STATE = threading.local()
+
+
+def fused_enabled() -> bool:
+    """Whether recurrent drivers route through the fused kernels."""
+    return getattr(_FUSED_STATE, "enabled", True)
+
+
+class use_fused:
+    """Context manager that enables/disables the fused kernels.
+
+    ``with use_fused(False): ...`` forces the per-step cell path — used
+    by the equivalence tests and the training benchmark's unfused
+    reference measurement.  Thread-local, re-entrant.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._enabled = bool(enabled)
+
+    def __enter__(self) -> "use_fused":
+        self._previous = fused_enabled()
+        _FUSED_STATE.enabled = self._enabled
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        _FUSED_STATE.enabled = self._previous
+
+
+def _sigmoid_into(pre: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """``out = 1 / (1 + exp(-clip(pre, ±60)))``, no temporaries.
+
+    Bit-identical to :meth:`Tensor.sigmoid` (the clip ufunc is invoked
+    directly to skip two layers of python dispatch — same ufunc, same
+    bits — and the remaining steps are the same operations in the same
+    order).
+    """
+    _clip_ufunc(pre, -60.0, 60.0, out)
+    np.negative(out, out=out)
+    np.exp(out, out=out)
+    out += 1.0
+    np.divide(1.0, out, out=out)
+    return out
+
+
+def _masks(lengths: np.ndarray | None, steps: int
+           ) -> tuple[np.ndarray | None, np.ndarray | None,
+                      np.ndarray | None]:
+    """``(keep, drop, full)`` for a padded batch.
+
+    ``keep``/``drop`` are ``(B, T, 1)`` blend masks; ``full`` is a
+    ``(T,)`` bool vector marking timesteps where *every* row is valid —
+    the kernels skip all mask work on those steps (the blend is the
+    identity there, and multiplying by exactly 1.0 / adding exactly 0.0
+    cannot change any value).  When every step is full the masks are
+    dropped entirely.
+    """
+    if lengths is None:
+        return None, None, None
+    from .rnn import sequence_mask
+    keep2d = sequence_mask(np.asarray(lengths), steps)
+    full = keep2d.all(axis=0)
+    if full.all():
+        return None, None, None
+    keep = keep2d[:, :, None]
+    return keep, 1.0 - keep, full
+
+
+def _needs_grad(*tensors: Tensor) -> bool:
+    return is_grad_enabled() and any(t.requires_grad for t in tensors)
+
+
+# ----------------------------------------------------------------------
+# LSTM over a padded batch
+# ----------------------------------------------------------------------
+def lstm_sequence(x: Tensor, w_ih: Tensor, w_hh: Tensor, bias: Tensor,
+                  lengths: np.ndarray | None = None,
+                  reverse: bool = False
+                  ) -> tuple[Tensor, Tensor, Tensor]:
+    """Run a full LSTM over ``(B, T, F)`` as one fused autograd op.
+
+    Gate layout matches :class:`~repro.nn.rnn.LSTMCell`:
+    ``[input, forget, cell, output]`` along the last axis of ``w_ih``
+    (``(F, 4H)``), ``w_hh`` (``(H, 4H)``) and ``bias`` (``(4H,)``).
+
+    Returns ``(outputs, h_last, c_last)`` where ``outputs`` is
+    ``(B, T, H)`` and ``h_last``/``c_last`` are the freeze-masked final
+    states (the state at each row's last valid step; first valid step
+    when ``reverse=True``).  All three are differentiable views of a
+    single fused graph node.
+    """
+    xd = x.data
+    wi, wh, b = w_ih.data, w_hh.data, bias.data
+    batch, steps, features = xd.shape
+    n = wh.shape[0]
+    keep_m, drop_m, full_t = _masks(lengths, steps)
+    # Hoisted input GEMM — identical to LSTMCell.input_projection (a GEMM
+    # computes each output row independently, so transposing to
+    # time-major first permutes rows without changing a single bit).
+    xT = np.ascontiguousarray(xd.transpose(1, 0, 2))   # (T, B, F)
+    x_proj = (xT.reshape(steps * batch, features) @ wi).reshape(
+        steps, batch, 4 * n)
+    ts = list(range(steps - 1, -1, -1) if reverse else range(steps))
+    record = _needs_grad(x, w_ih, w_hh, bias)
+
+    # Time-major state buffers keep every per-step ufunc contiguous; the
+    # batch-major node buffer is materialized once at the end.  Every
+    # step writes its slab, so only c_0 needs zeroing.
+    hs = np.empty((steps, batch, n))              # hs[t] = h_t
+    c_states = np.empty((steps + 1, batch, n))    # c before each step
+    c_states[0] = 0.0
+    gate_buf = np.empty((batch, 4 * n))
+    scratch = np.empty((batch, n))
+    if record:
+        acts = np.empty((steps, batch, 4 * n))    # i, f, g, o
+        tanh_c = np.empty((steps, batch, n))      # tanh of pre-mask c̃
+    else:
+        act_slab = np.empty((batch, 4 * n))
+        tc_slab = np.empty((batch, n))
+    zero_h = np.zeros((batch, n))
+    h_prev = zero_h
+    for k, t in enumerate(ts):
+        c_prev = c_states[k]
+        c_new = c_states[k + 1]
+        h = hs[t]
+        sig = acts[k] if record else act_slab
+        tc = tanh_c[k] if record else tc_slab
+        np.matmul(h_prev, wh, out=gate_buf)
+        gate_buf += x_proj[t]                     # x·W + h·W (commutative)
+        gate_buf += b
+        _sigmoid_into(gate_buf, sig)              # one pass over all 4H
+        g = np.tanh(gate_buf[:, 2 * n:3 * n], out=sig[:, 2 * n:3 * n])
+        i = sig[:, 0 * n:1 * n]
+        f = sig[:, 1 * n:2 * n]
+        o = sig[:, 3 * n:4 * n]
+        np.multiply(f, c_prev, out=c_new)
+        np.multiply(i, g, out=scratch)
+        c_new += scratch                          # c̃ = f·c + i·g
+        np.tanh(c_new, out=tc)
+        np.multiply(o, tc, out=h)                 # h̃ = o·tanh(c̃)
+        if keep_m is not None and not full_t[t]:
+            keep = keep_m[:, t]
+            drop = drop_m[:, t]
+            h *= keep
+            np.multiply(h_prev, drop, out=scratch)
+            h += scratch                          # h = h̃·m + h_prev·(1-m)
+            c_new *= keep
+            np.multiply(c_prev, drop, out=scratch)
+            c_new += scratch
+        h_prev = h
+
+    # packed[:, t] = h_t for t < T, packed[:, T] = final cell state: one
+    # buffer means one tape node feeding outputs, h_last and c_last.
+    packed = np.empty((batch, steps + 1, n))
+    packed[:, :steps, :] = hs.transpose(1, 0, 2)
+    packed[:, steps, :] = c_states[steps]
+
+    def backward(grad: np.ndarray) -> None:
+        # Activation derivatives for the whole tape in two fused
+        # passes (in-place: σ'=a·(1-a) and tanh'=1-a² share one buffer).
+        deriv = 1.0 - acts                        # σ' on i, f, o
+        deriv *= acts
+        gb = acts[:, :, 2 * n:3 * n]
+        gblk = deriv[:, :, 2 * n:3 * n]
+        np.multiply(gb, gb, out=gblk)             # tanh' on the g block
+        np.subtract(1.0, gblk, out=gblk)
+        dtanh_c = tanh_c * tanh_c
+        np.subtract(1.0, dtanh_c, out=dtanh_c)
+        wh_t = wh.T.copy()
+        gT = np.ascontiguousarray(
+            grad[:, :steps, :].transpose(1, 0, 2))           # (T, B, H)
+        dh = np.zeros((batch, n))
+        dc = np.array(grad[:, steps, :], dtype=np.float64)   # c_last grad
+        d_xproj = np.empty((steps, batch, 4 * n))            # time-major
+        s1 = np.empty((batch, n))
+        dh_skip = np.empty((batch, n))
+        dc_skip = np.empty((batch, n))
+        for k in range(steps - 1, -1, -1):
+            t = ts[k]
+            dh += gT[t]
+            partial = keep_m is not None and not full_t[t]
+            if partial:
+                keep = keep_m[:, t]
+                drop = drop_m[:, t]
+                np.multiply(dh, drop, out=dh_skip)
+                dh *= keep
+                np.multiply(dc, drop, out=dc_skip)
+                dc *= keep
+            i = acts[k, :, 0 * n:1 * n]
+            f = acts[k, :, 1 * n:2 * n]
+            g = acts[k, :, 2 * n:3 * n]
+            tc = tanh_c[k]
+            da = d_xproj[t]
+            # dc̃ = dc·m + dh̃·o·(1 - tanh²c̃)
+            np.multiply(dh, acts[k, :, 3 * n:4 * n], out=s1)
+            s1 *= dtanh_c[k]
+            dc += s1
+            np.multiply(dh, tc, out=da[:, 3 * n:4 * n])      # do
+            np.multiply(dc, g, out=da[:, 0 * n:1 * n])       # di
+            np.multiply(dc, c_states[k], out=da[:, 1 * n:2 * n])  # df
+            np.multiply(dc, i, out=da[:, 2 * n:3 * n])       # dg
+            da *= deriv[k]                                   # preact grads
+            dc *= f
+            if partial:
+                dc += dc_skip
+            np.matmul(da, wh_t, out=dh)
+            if partial:
+                dh += dh_skip
+        flat = d_xproj.reshape(steps * batch, 4 * n)
+        if x.requires_grad:
+            dx = (flat @ wi.T).reshape(steps, batch, features)
+            x._accumulate(np.ascontiguousarray(dx.transpose(1, 0, 2)),
+                          own=True)
+        if w_ih.requires_grad:
+            w_ih._accumulate(xT.reshape(steps * batch, features).T @ flat,
+                             own=True)
+        if w_hh.requires_grad:
+            # dW_hh = Σ_k h_{k-1}ᵀ·da_k as ONE GEMM: line the previous
+            # hidden states up with d_xproj's time axis (step k reads
+            # hs[ts[k-1]]; the first step sees zeros).
+            hp = np.empty((steps, batch, n))
+            if reverse:
+                hp[steps - 1] = 0.0
+                if steps > 1:
+                    hp[:steps - 1] = hs[1:]
+            else:
+                hp[0] = 0.0
+                if steps > 1:
+                    hp[1:] = hs[:steps - 1]
+            w_hh._accumulate(hp.reshape(steps * batch, n).T @ flat,
+                             own=True)
+        if bias.requires_grad:
+            bias._accumulate(d_xproj.sum(axis=(0, 1)), own=True)
+
+    node = Tensor._make(packed, (x, w_ih, w_hh, bias), backward)
+    outputs = node[:, :steps, :]
+    h_last = node[:, ts[-1], :]
+    c_last = node[:, steps, :]
+    return outputs, h_last, c_last
+
+
+# ----------------------------------------------------------------------
+# GRU over a padded batch
+# ----------------------------------------------------------------------
+def gru_sequence(x: Tensor, w_ih: Tensor, w_hh: Tensor, b_ih: Tensor,
+                 b_hh: Tensor, lengths: np.ndarray | None = None,
+                 reverse: bool = False) -> tuple[Tensor, Tensor]:
+    """Run a full GRU over ``(B, T, F)`` as one fused autograd op.
+
+    Gate layout matches :class:`~repro.nn.rnn.GRUCell`:
+    ``[reset, update, new]``.  Returns ``(outputs, h_last)``.
+    """
+    xd = x.data
+    wi, wh = w_ih.data, w_hh.data
+    bi, bh = b_ih.data, b_hh.data
+    batch, steps, features = xd.shape
+    n = wh.shape[0]
+    keep_m, drop_m, full_t = _masks(lengths, steps)
+    # Hoisted input GEMM + bias — identical to GRUCell.input_projection
+    # (time-major row permutation; a GEMM computes rows independently).
+    xT = np.ascontiguousarray(xd.transpose(1, 0, 2))   # (T, B, F)
+    gi_all = (xT.reshape(steps * batch, features) @ wi + bi).reshape(
+        steps, batch, 3 * n)
+    ts = list(range(steps - 1, -1, -1) if reverse else range(steps))
+    record = _needs_grad(x, w_ih, w_hh, b_ih, b_hh)
+
+    hs = np.empty((steps, batch, n))              # hs[t] = h_t, time-major
+    gh_buf = np.empty((batch, 3 * n))
+    rz_pre = np.empty((batch, 2 * n))
+    scratch = np.empty((batch, n))
+    if record:
+        acts = np.empty((steps, batch, 3 * n))    # r, z, n̂
+        gh_new = np.empty((steps, batch, n))      # recurrent candidate in
+    else:
+        act_slab = np.empty((batch, 3 * n))
+    zero_h = np.zeros((batch, n))
+    h_prev = zero_h
+    for k, t in enumerate(ts):
+        h = hs[t]
+        a = acts[k] if record else act_slab
+        np.matmul(h_prev, wh, out=gh_buf)
+        gh_buf += bh                              # gh = h·W_hh + b_hh
+        np.add(gi_all[t, :, :2 * n], gh_buf[:, :2 * n], out=rz_pre)
+        _sigmoid_into(rz_pre, a[:, :2 * n])       # r, z in one pass
+        r = a[:, 0 * n:1 * n]
+        z = a[:, 1 * n:2 * n]
+        cand = a[:, 2 * n:3 * n]
+        if record:
+            gh_new[k] = gh_buf[:, 2 * n:3 * n]
+        np.multiply(r, gh_buf[:, 2 * n:3 * n], out=scratch)
+        scratch += gi_all[t, :, 2 * n:3 * n]      # gi_n + r·gh_n
+        np.tanh(scratch, out=cand)
+        np.subtract(1.0, z, out=scratch)
+        np.multiply(scratch, cand, out=h)         # (1-z)·n̂
+        np.multiply(z, h_prev, out=scratch)
+        h += scratch                              # + z·h_prev
+        if keep_m is not None and not full_t[t]:
+            keep = keep_m[:, t]
+            h *= keep
+            np.multiply(h_prev, drop_m[:, t], out=scratch)
+            h += scratch
+        h_prev = h
+    outputs = np.ascontiguousarray(hs.transpose(1, 0, 2))  # (B, T, H)
+
+    def backward(grad: np.ndarray) -> None:
+        deriv = 1.0 - acts                        # σ' on r, z
+        deriv *= acts
+        cb = acts[:, :, 2 * n:3 * n]
+        cblk = deriv[:, :, 2 * n:3 * n]
+        np.multiply(cb, cb, out=cblk)             # tanh' on the n̂ block
+        np.subtract(1.0, cblk, out=cblk)
+        wh_t = wh.T.copy()
+        gT = np.ascontiguousarray(grad.transpose(1, 0, 2))   # (T, B, H)
+        dh = np.zeros((batch, n))
+        d_gi = np.empty((steps, batch, 3 * n))               # time-major
+        d_gh = np.empty((steps, batch, 3 * n))
+        s1 = np.empty((batch, n))
+        dh_skip = np.empty((batch, n))
+        for k in range(steps - 1, -1, -1):
+            t = ts[k]
+            dh += gT[t]
+            partial = keep_m is not None and not full_t[t]
+            if partial:
+                np.multiply(dh, drop_m[:, t], out=dh_skip)
+                dh *= keep_m[:, t]
+            r = acts[k, :, 0 * n:1 * n]
+            z = acts[k, :, 1 * n:2 * n]
+            cand = acts[k, :, 2 * n:3 * n]
+            h_prev = hs[ts[k - 1]] if k > 0 else zero_h
+            gi = d_gi[t]
+            dgh = d_gh[t]
+            np.subtract(1.0, z, out=s1)
+            s1 *= dh
+            np.multiply(s1, deriv[k, :, 2 * n:3 * n],
+                        out=gi[:, 2 * n:3 * n])             # da_n
+            np.subtract(h_prev, cand, out=s1)
+            s1 *= dh
+            np.multiply(s1, deriv[k, :, 1 * n:2 * n],
+                        out=gi[:, 1 * n:2 * n])             # da_z
+            np.multiply(gi[:, 2 * n:3 * n], gh_new[k], out=s1)
+            np.multiply(s1, deriv[k, :, 0 * n:1 * n],
+                        out=gi[:, 0 * n:1 * n])             # da_r
+            dgh[:, :2 * n] = gi[:, :2 * n]
+            np.multiply(gi[:, 2 * n:3 * n], r, out=dgh[:, 2 * n:3 * n])
+            np.multiply(dh, z, out=s1)
+            np.matmul(dgh, wh_t, out=dh)
+            dh += s1
+            if partial:
+                dh += dh_skip
+        flat = d_gi.reshape(steps * batch, 3 * n)
+        if x.requires_grad:
+            dx = (flat @ wi.T).reshape(steps, batch, features)
+            x._accumulate(np.ascontiguousarray(dx.transpose(1, 0, 2)),
+                          own=True)
+        if w_ih.requires_grad:
+            w_ih._accumulate(xT.reshape(steps * batch, features).T @ flat,
+                             own=True)
+        if w_hh.requires_grad:
+            # dW_hh = Σ_k h_{k-1}ᵀ·dgh_k as ONE GEMM over the recorded
+            # per-step recurrent-projection grads.
+            hp = np.empty((steps, batch, n))
+            if reverse:
+                hp[steps - 1] = 0.0
+                if steps > 1:
+                    hp[:steps - 1] = hs[1:]
+            else:
+                hp[0] = 0.0
+                if steps > 1:
+                    hp[1:] = hs[:steps - 1]
+            w_hh._accumulate(
+                hp.reshape(steps * batch, n).T
+                @ d_gh.reshape(steps * batch, 3 * n), own=True)
+        if b_ih.requires_grad:
+            b_ih._accumulate(d_gi.sum(axis=(0, 1)), own=True)
+        if b_hh.requires_grad:
+            b_hh._accumulate(d_gh.sum(axis=(0, 1)), own=True)
+
+    node = Tensor._make(outputs, (x, w_ih, w_hh, b_ih, b_hh), backward)
+    h_last = node[:, ts[-1], :]
+    return node, h_last
+
+
+# ----------------------------------------------------------------------
+# LSTM decoder: expand one vector into a sequence
+# ----------------------------------------------------------------------
+def lstm_decode(v: Tensor, w_ih: Tensor, w_hh: Tensor, bias: Tensor,
+                steps: int, lengths: np.ndarray | None = None) -> Tensor:
+    """Fused :class:`~repro.nn.rnn.LSTMDecoder` time loop.
+
+    The input vector ``v`` (``(B, D)``) is fed at *every* step, so its
+    projection is computed once and its gradient is the sum of the
+    per-step gate gradients pushed through ``w_ih`` — one GEMM each way.
+    Returns the hidden-state scaffold ``(B, steps, H)``.
+    """
+    vd = v.data
+    wi, wh, b = w_ih.data, w_hh.data, bias.data
+    batch = vd.shape[0]
+    n = wh.shape[0]
+    keep_m, drop_m, full_t = _masks(lengths, steps)
+    v_proj = vd @ wi                       # one projection for all steps
+    record = _needs_grad(v, w_ih, w_hh, bias)
+
+    hs = np.empty((steps, batch, n))       # hs[t] = h_t, time-major
+    c_states = np.empty((steps + 1, batch, n))
+    c_states[0] = 0.0
+    gate_buf = np.empty((batch, 4 * n))
+    scratch = np.empty((batch, n))
+    if record:
+        acts = np.empty((steps, batch, 4 * n))
+        tanh_c = np.empty((steps, batch, n))
+    else:
+        act_slab = np.empty((batch, 4 * n))
+        tc_slab = np.empty((batch, n))
+    zero_h = np.zeros((batch, n))
+    h_prev = zero_h
+    for t in range(steps):
+        c_prev = c_states[t]
+        c_new = c_states[t + 1]
+        h = hs[t]
+        sig = acts[t] if record else act_slab
+        tc = tanh_c[t] if record else tc_slab
+        np.matmul(h_prev, wh, out=gate_buf)
+        gate_buf += v_proj
+        gate_buf += b
+        _sigmoid_into(gate_buf, sig)
+        g = np.tanh(gate_buf[:, 2 * n:3 * n], out=sig[:, 2 * n:3 * n])
+        i = sig[:, 0 * n:1 * n]
+        f = sig[:, 1 * n:2 * n]
+        o = sig[:, 3 * n:4 * n]
+        np.multiply(f, c_prev, out=c_new)
+        np.multiply(i, g, out=scratch)
+        c_new += scratch
+        np.tanh(c_new, out=tc)
+        np.multiply(o, tc, out=h)
+        if keep_m is not None and not full_t[t]:
+            keep = keep_m[:, t]
+            drop = drop_m[:, t]
+            h *= keep
+            np.multiply(h_prev, drop, out=scratch)
+            h += scratch
+            c_new *= keep
+            np.multiply(c_prev, drop, out=scratch)
+            c_new += scratch
+        h_prev = h
+    outputs = np.ascontiguousarray(hs.transpose(1, 0, 2))  # (B, T, H)
+
+    def backward(grad: np.ndarray) -> None:
+        deriv = 1.0 - acts
+        deriv *= acts
+        gb = acts[:, :, 2 * n:3 * n]
+        gblk = deriv[:, :, 2 * n:3 * n]
+        np.multiply(gb, gb, out=gblk)
+        np.subtract(1.0, gblk, out=gblk)
+        dtanh_c = tanh_c * tanh_c
+        np.subtract(1.0, dtanh_c, out=dtanh_c)
+        wh_t = wh.T.copy()
+        gT = np.ascontiguousarray(grad.transpose(1, 0, 2))   # (T, B, H)
+        dh = np.zeros((batch, n))
+        dc = np.zeros((batch, n))
+        da_all = np.empty((steps, batch, 4 * n))  # per-step gate grads
+        s1 = np.empty((batch, n))
+        dh_skip = np.empty((batch, n))
+        dc_skip = np.empty((batch, n))
+        for t in range(steps - 1, -1, -1):
+            da = da_all[t]
+            dh += gT[t]
+            partial = keep_m is not None and not full_t[t]
+            if partial:
+                keep = keep_m[:, t]
+                drop = drop_m[:, t]
+                np.multiply(dh, drop, out=dh_skip)
+                dh *= keep
+                np.multiply(dc, drop, out=dc_skip)
+                dc *= keep
+            i = acts[t, :, 0 * n:1 * n]
+            f = acts[t, :, 1 * n:2 * n]
+            g = acts[t, :, 2 * n:3 * n]
+            tc = tanh_c[t]
+            np.multiply(dh, acts[t, :, 3 * n:4 * n], out=s1)
+            s1 *= dtanh_c[t]
+            dc += s1
+            np.multiply(dh, tc, out=da[:, 3 * n:4 * n])
+            np.multiply(dc, g, out=da[:, 0 * n:1 * n])
+            np.multiply(dc, c_states[t], out=da[:, 1 * n:2 * n])
+            np.multiply(dc, i, out=da[:, 2 * n:3 * n])
+            da *= deriv[t]
+            dc *= f
+            if partial:
+                dc += dc_skip
+            np.matmul(da, wh_t, out=dh)
+            if partial:
+                dh += dh_skip
+        # v is fed at every step: its projection grad is the time-sum of
+        # the per-step gate grads, pushed through w_ih with one GEMM each
+        # way.  dW_hh likewise collapses to a single GEMM against the
+        # time-aligned previous hidden states (zeros at t = 0).
+        dvp = da_all.sum(axis=0)
+        if v.requires_grad:
+            v._accumulate(dvp @ wi.T, own=True)
+        if w_ih.requires_grad:
+            w_ih._accumulate(vd.T @ dvp, own=True)
+        if w_hh.requires_grad:
+            hp = np.empty((steps, batch, n))
+            hp[0] = 0.0
+            if steps > 1:
+                hp[1:] = hs[:steps - 1]
+            w_hh._accumulate(
+                hp.reshape(steps * batch, n).T
+                @ da_all.reshape(steps * batch, 4 * n), own=True)
+        if bias.requires_grad:
+            # The bias enters every step's gates directly, so its grad
+            # is the batch-sum of the accumulated per-step gate grads.
+            bias._accumulate(dvp.sum(axis=0), own=True)
+
+    return Tensor._make(outputs, (v, w_ih, w_hh, bias), backward)
+
+
+# ----------------------------------------------------------------------
+# Affine (Linear layer) and attention aggregation
+# ----------------------------------------------------------------------
+def affine(x: Tensor, weight: Tensor, bias: Tensor) -> Tensor:
+    """``y = x @ W + b`` as ONE tape node (the Linear layer collapsed).
+
+    The tape version records two nodes (matmul, broadcast add) and the
+    weight gradient for ``(B, T, I)`` inputs goes through a *batched*
+    transposed matmul followed by an ``_unbroadcast`` reduction over the
+    batch axis; here both directions are single flat GEMMs over the
+    collapsed leading axes.  Forward values are bit-identical (GEMM rows
+    are computed independently, and ``out += b`` produces the same
+    elementwise sums as the tape's broadcast add).
+    """
+    xd, wd, bd = x.data, weight.data, bias.data
+    out_f = wd.shape[1]
+    flat_x = xd.reshape(-1, xd.shape[-1])
+    out = flat_x @ wd
+    out += bd
+    out = out.reshape(xd.shape[:-1] + (out_f,))
+
+    def backward(grad: np.ndarray) -> None:
+        g2 = np.ascontiguousarray(grad.reshape(-1, out_f))
+        if x.requires_grad:
+            x._accumulate((g2 @ wd.T).reshape(xd.shape), own=True)
+        if weight.requires_grad:
+            weight._accumulate(flat_x.T @ g2, own=True)
+        if bias.requires_grad:
+            bias._accumulate(g2.sum(axis=0), own=True)
+
+    return Tensor._make(out, (x, weight, bias), backward)
+
+
+def mlp_head(x: Tensor, w1: Tensor, b1: Tensor,
+             w2: Tensor, b2: Tensor) -> Tensor:
+    """``tanh((x @ W1 + b1) @ W2 + b2)`` as ONE tape node.
+
+    The two-FC-plus-tanh head of the compression/decompression
+    operators (paper Eqs. 4 and 6).  Works on any leading shape; both
+    GEMMs run flat over the collapsed leading axes, forward values are
+    bit-identical to the tape chain for the same reasons as
+    :func:`affine`, and ``np.tanh`` is the tape's own nonlinearity.
+    """
+    xd = x.data
+    flat_x = xd.reshape(-1, xd.shape[-1])
+    hidden = flat_x @ w1.data
+    hidden += b1.data                          # cached for backward
+    out = hidden @ w2.data
+    out += b2.data
+    np.tanh(out, out=out)
+    out_f = w2.data.shape[1]
+    out = out.reshape(xd.shape[:-1] + (out_f,))
+
+    def backward(grad: np.ndarray) -> None:
+        # d/dpre tanh = 1 - tanh^2, with tanh cached in the output.
+        y = out.reshape(-1, out_f)
+        dpre = y * y
+        np.subtract(1.0, dpre, out=dpre)
+        dpre *= grad.reshape(-1, out_f)
+        if w2.requires_grad:
+            w2._accumulate(hidden.T @ dpre, own=True)
+        if b2.requires_grad:
+            b2._accumulate(dpre.sum(axis=0), own=True)
+        dh = dpre @ w2.data.T
+        if w1.requires_grad:
+            w1._accumulate(flat_x.T @ dh, own=True)
+        if b1.requires_grad:
+            b1._accumulate(dh.sum(axis=0), own=True)
+        if x.requires_grad:
+            x._accumulate((dh @ w1.data.T).reshape(xd.shape), own=True)
+
+    return Tensor._make(out, (x, w1, b1, w2, b2), backward)
+
+
+def attention_pool(outputs: Tensor, last_hidden: Tensor,
+                   w_query: Tensor, b_query: Tensor,
+                   w_key: Tensor, b_key: Tensor,
+                   lengths: np.ndarray | None = None,
+                   neg_inf: float = -1e9) -> Tensor:
+    """Self-attention aggregation (paper Eqs. 3-4) as ONE tape node.
+
+    Collapses the ~14-node tape of
+    :class:`repro.nn.attention.SelfAttentionAggregator` (two Linears,
+    the score reduction, the masked softmax and the weighted sum) into a
+    single custom op.  Forward replays the tape's float op order
+    exactly — same query/key projections, same ``(k · q) / sqrt(d)``
+    scores, same additive ``-1e9`` mask bias, same shifted softmax —
+    so fused outputs are bit-identical.  Backward is the hand-derived
+    chain with both Linear gradients as flat GEMMs.
+    """
+    hd = outputs.data                      # (B, T, n)
+    hld = last_hidden.data                 # (B, n)
+    batch, steps, n = hd.shape
+    scale = 1.0 / np.sqrt(n)
+
+    q = hld @ w_query.data                 # (B, n)
+    q += b_query.data
+    flat_h = hd.reshape(batch * steps, n)
+    k = (flat_h @ w_key.data).reshape(batch, steps, n)
+    k += b_key.data
+    scores = (k * q[:, None, :]).sum(axis=2)
+    scores *= scale                        # (B, T)
+    if lengths is not None:
+        from .rnn import sequence_mask
+        mask = sequence_mask(np.asarray(lengths), steps)
+        scores += (1.0 - mask) * neg_inf
+    # Softmax over timesteps, replaying Tensor.softmax's op order.
+    shifted = scores - scores.max(axis=1, keepdims=True)
+    e = np.exp(shifted)
+    weights = e / e.sum(axis=1, keepdims=True)
+    pooled = (hd * weights[:, :, None]).sum(axis=1)  # (B, n)
+
+    def backward(grad: np.ndarray) -> None:
+        # pooled = sum_t weights_t * H_t
+        dw = (hd * grad[:, None, :]).sum(axis=2)          # (B, T)
+        d_outputs = weights[:, :, None] * grad[:, None, :]
+        # softmax backward (the additive mask bias is a constant).
+        ds = weights * (dw - (dw * weights).sum(axis=1, keepdims=True))
+        ds *= scale
+        # scores = sum_h k * q  ->  product rule.
+        dk = ds[:, :, None] * q[:, None, :]               # (B, T, n)
+        dq = (ds[:, :, None] * k).sum(axis=1)             # (B, n)
+        # Through the key projection (flat GEMMs).
+        dk_flat = dk.reshape(batch * steps, n)
+        d_outputs += (dk_flat @ w_key.data.T).reshape(hd.shape)
+        if w_key.requires_grad:
+            w_key._accumulate(flat_h.T @ dk_flat, own=True)
+        if b_key.requires_grad:
+            b_key._accumulate(dk_flat.sum(axis=0), own=True)
+        # Through the query projection.
+        if last_hidden.requires_grad:
+            last_hidden._accumulate(dq @ w_query.data.T, own=True)
+        if w_query.requires_grad:
+            w_query._accumulate(hld.T @ dq, own=True)
+        if b_query.requires_grad:
+            b_query._accumulate(dq.sum(axis=0), own=True)
+        if outputs.requires_grad:
+            outputs._accumulate(d_outputs, own=True)
+
+    return Tensor._make(
+        pooled,
+        (outputs, last_hidden, w_query, b_query, w_key, b_key),
+        backward)

@@ -6,7 +6,7 @@ import numpy as np
 
 from .init import xavier_uniform
 from .module import Module, Parameter
-from .tensor import Tensor
+from .tensor import Tensor, is_grad_enabled
 
 __all__ = ["Linear", "Sequential"]
 
@@ -31,6 +31,11 @@ class Linear(Module):
         if x.shape[-1] != self.in_features:
             raise ValueError(
                 f"expected last axis {self.in_features}, got {x.shape}")
+        from .fused import affine, fused_enabled
+        if fused_enabled() and is_grad_enabled():
+            # One tape node instead of two; bit-identical values (see
+            # :func:`repro.nn.fused.affine`).
+            return affine(x, self.weight, self.bias)
         return x @ self.weight + self.bias
 
 

@@ -4,11 +4,42 @@ from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import Tensor, is_grad_enabled
 
 __all__ = ["mse_loss", "kld_loss", "bce_loss"]
 
 _EPS = 1e-12
+
+
+def _fused_mse(prediction: Tensor, target: np.ndarray,
+               mask: np.ndarray | None) -> Tensor:
+    """Masked MSE as ONE tape node (see :mod:`repro.nn.fused`).
+
+    The tape version records five nodes and four full-size temporaries
+    per loss; the training path evaluates a loss per branch per batch,
+    so collapsing it matters.  Forward replays the tape's float op
+    order exactly; the hand backward is ``d/dpred = 2·mask·diff/valid``
+    (the tape accumulates ``dsq·diff`` twice, and ``a + a == 2·a``
+    bit-exactly for floats).
+    """
+    diff = prediction.data - target
+    squared = diff * diff
+    if mask is None:
+        valid = float(squared.size)
+        value = squared.mean()
+    else:
+        valid = float(np.broadcast_to(mask, squared.shape).sum())
+        if valid == 0:
+            raise ValueError("mask selects no elements")
+        value = (squared * mask).sum() * (1.0 / valid)
+
+    def backward(grad: np.ndarray) -> None:
+        g = diff * (float(grad) * (2.0 / valid))
+        if mask is not None:
+            g *= mask
+        prediction._accumulate(g, own=True)
+
+    return Tensor._make(np.asarray(value), (prediction,), backward)
 
 
 def mse_loss(prediction: Tensor, target: np.ndarray,
@@ -18,15 +49,24 @@ def mse_loss(prediction: Tensor, target: np.ndarray,
     ``mask`` (same leading shape as ``prediction``, broadcastable) selects
     valid positions in padded batches; the mean is taken over valid
     elements only.
+
+    Under the fused training path (:func:`repro.nn.fused.fused_enabled`,
+    the default) the whole loss is a single custom autograd op;
+    ``use_fused(False)`` restores the legacy multi-node tape.
     """
+    from .fused import fused_enabled
     target = np.asarray(target, dtype=np.float64)
+    if mask is not None:
+        mask = np.asarray(mask, dtype=np.float64)
+        if mask.ndim < prediction.data.ndim:
+            mask = mask.reshape(
+                mask.shape + (1,) * (prediction.data.ndim - mask.ndim))
+    if fused_enabled() and is_grad_enabled():
+        return _fused_mse(prediction, target, mask)
     diff = prediction - target
     squared = diff * diff
     if mask is None:
         return squared.mean()
-    mask = np.asarray(mask, dtype=np.float64)
-    if mask.ndim < squared.ndim:
-        mask = mask.reshape(mask.shape + (1,) * (squared.ndim - mask.ndim))
     valid = float(np.broadcast_to(mask, squared.shape).sum())
     if valid == 0:
         raise ValueError("mask selects no elements")

@@ -21,7 +21,10 @@ def clip_grad_norm(parameters: Sequence[Parameter], max_norm: float) -> float:
     grads = [p.grad for p in parameters if p.grad is not None]
     if not grads:
         return 0.0
-    total = float(np.sqrt(sum(float((g**2).sum()) for g in grads)))
+    # np.dot on the raveled gradient is a single BLAS pass; (g**2).sum()
+    # would allocate a temporary and scan twice.
+    total = float(np.sqrt(sum(
+        float(np.dot(g.ravel(), g.ravel())) for g in grads)))
     if total > max_norm > 0.0:
         scale = max_norm / (total + 1e-12)
         for g in grads:
@@ -122,25 +125,53 @@ class Adam(Optimizer):
         self._step_count = 0
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+        # Reusable per-parameter scratch (not part of the optimizer
+        # state: it never survives a step).
+        self._buf = [np.empty_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
+        """Allocation-free Adam update.
+
+        The moment updates write through one reusable scratch buffer per
+        parameter (``x**2`` for float64 is computed as ``x*x``, so the
+        moments stay bit-identical to the textbook form), and the bias
+        correction is folded into the step size::
+
+            lr·(m/bias1)/(sqrt(v/bias2) + eps)
+              == (lr·sqrt(bias2)/bias1) · m / (sqrt(v) + eps·sqrt(bias2))
+
+        which removes the ``m_hat``/``v_hat`` temporaries entirely.
+        """
         self._step_count += 1
         bias1 = 1.0 - self.beta1**self._step_count
         bias2 = 1.0 - self.beta2**self._step_count
-        for p, m, v in zip(self.parameters, self._m, self._v):
+        sqrt_bias2 = np.sqrt(bias2)
+        step_size = self.lr * sqrt_bias2 / bias1
+        eps_hat = self.eps * sqrt_bias2
+        one_minus_b1 = 1.0 - self.beta1
+        one_minus_b2 = 1.0 - self.beta2
+        for p, m, v, buf in zip(self.parameters, self._m, self._v,
+                                self._buf):
             if p.grad is None:
                 continue
+            grad = p.grad
             m *= self.beta1
-            m += (1.0 - self.beta1) * p.grad
+            np.multiply(grad, one_minus_b1, out=buf)
+            m += buf
             v *= self.beta2
-            v += (1.0 - self.beta2) * p.grad**2
-            m_hat = m / bias1
-            v_hat = v / bias2
+            np.multiply(grad, grad, out=buf)
+            buf *= one_minus_b2
+            v += buf
             if self.weight_decay:
                 # Decoupled weight decay (AdamW): regularizes without
                 # polluting the adaptive moments.
-                p.data -= self.lr * self.weight_decay * p.data
-            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+                np.multiply(p.data, self.lr * self.weight_decay, out=buf)
+                p.data -= buf
+            np.sqrt(v, out=buf)
+            buf += eps_hat
+            np.divide(m, buf, out=buf)
+            buf *= step_size
+            p.data -= buf
 
     def state_dict(self) -> dict[str, object]:
         return {

@@ -16,12 +16,24 @@ decoder goes further: its input is the *same* vector at every step, so a
 single ``(B, F) @ (F, 4H)`` product serves all ``T`` steps.  The per-step
 work left in Python is only the irreducible recurrent part,
 ``h @ W_hh`` plus the gate nonlinearities.
+
+By default the drivers (:class:`LSTM`, :class:`GRU`,
+:class:`LSTMDecoder`, and through them :class:`BiLSTMLayer` /
+:class:`StackedBiLSTM`) route whole sequences through the fused kernels
+of :mod:`repro.nn.fused`, which run the time loop in raw numpy and
+contribute a *single* node to the autograd tape (hand-derived BPTT)
+instead of ~20 nodes per step.  The per-step cell classes remain the
+reference implementation: ``with use_fused(False):`` forces the legacy
+tape-per-step path, which the fused kernels are verified against
+(bit-identical forward, ``rtol=1e-9`` gradients) in
+``tests/test_fused.py``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from .fused import fused_enabled, gru_sequence, lstm_decode, lstm_sequence
 from .init import orthogonal, xavier_uniform
 from .layers import Linear
 from .module import Module, Parameter
@@ -165,6 +177,11 @@ class LSTM(_Recurrent):
 
     def forward(self, x: Tensor, lengths: np.ndarray | None = None
                 ) -> tuple[Tensor, tuple[Tensor, Tensor]]:
+        if fused_enabled():
+            outputs, h, c = lstm_sequence(
+                x, self.cell.w_ih, self.cell.w_hh, self.cell.bias,
+                lengths=lengths, reverse=self.reverse)
+            return outputs, (h, c)
         batch, steps, _ = x.shape
         mask = None if lengths is None else sequence_mask(lengths, steps)
         h = self._zero_state(batch)
@@ -190,6 +207,10 @@ class GRU(_Recurrent):
 
     def forward(self, x: Tensor, lengths: np.ndarray | None = None
                 ) -> tuple[Tensor, Tensor]:
+        if fused_enabled():
+            return gru_sequence(
+                x, self.cell.w_ih, self.cell.w_hh, self.cell.b_ih,
+                self.cell.b_hh, lengths=lengths, reverse=self.reverse)
         batch, steps, _ = x.shape
         mask = None if lengths is None else sequence_mask(lengths, steps)
         h = self._zero_state(batch)
@@ -257,6 +278,9 @@ class LSTMDecoder(Module):
 
     def forward(self, v: Tensor, steps: int,
                 lengths: np.ndarray | None = None) -> Tensor:
+        if fused_enabled():
+            return lstm_decode(v, self.cell.w_ih, self.cell.w_hh,
+                               self.cell.bias, steps, lengths=lengths)
         batch = v.shape[0]
         mask = None if lengths is None else sequence_mask(lengths, steps)
         h = Tensor(np.zeros((batch, self.hidden_size)))

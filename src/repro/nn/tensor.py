@@ -16,36 +16,45 @@ a gradient that is verified against finite differences in the test suite.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 __all__ = ["Tensor", "concat", "stack", "no_grad", "is_grad_enabled"]
 
-_GRAD_ENABLED = True
+#: Per-thread autograd mode.  Detection workers may run in parallel
+#: threads; a module-level boolean would let one worker's ``no_grad``
+#: block silently disable graph construction in a concurrently training
+#: thread, so the flag lives in ``threading.local`` storage instead.
+#: Each thread starts with gradients enabled.
+_GRAD_STATE = threading.local()
 
 
 class no_grad:
     """Context manager that disables graph construction.
 
     Inference-only code paths (e.g. online detection) run noticeably faster
-    when the engine does not record backward closures.
+    when the engine does not record backward closures.  The switch is
+    thread-local: entering ``no_grad`` on one thread never changes the
+    grad mode observed by other threads.
     """
 
     def __enter__(self) -> "no_grad":
-        global _GRAD_ENABLED
-        self._previous = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._previous = getattr(_GRAD_STATE, "enabled", True)
+        _GRAD_STATE.enabled = False
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._previous
+        _GRAD_STATE.enabled = self._previous
 
 
 def is_grad_enabled() -> bool:
-    """Return whether new operations will be recorded for backprop."""
-    return _GRAD_ENABLED
+    """Return whether new operations will be recorded for backprop.
+
+    The answer is per-thread (see :data:`_GRAD_STATE`).
+    """
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -73,6 +82,21 @@ def _as_array(value: "Tensor | np.ndarray | float | int") -> np.ndarray:
     return np.asarray(value, dtype=np.float64)
 
 
+def _is_basic_index(key: object) -> bool:
+    """True when ``key`` is pure basic (non-fancy) numpy indexing.
+
+    Basic indexing — ints, slices, ``None``/``Ellipsis`` and tuples
+    thereof — selects each source element at most once, so the gradient
+    scatter can be a direct assignment into a zero buffer instead of the
+    far slower duplicate-safe ``np.add.at``.
+    """
+    if isinstance(key, tuple):
+        return all(k is None or k is Ellipsis
+                   or isinstance(k, (int, np.integer, slice)) for k in key)
+    return (key is None or key is Ellipsis
+            or isinstance(key, (int, np.integer, slice)))
+
+
 class Tensor:
     """A numpy array with reverse-mode autograd support."""
 
@@ -84,7 +108,8 @@ class Tensor:
         requires_grad: bool = False,
     ) -> None:
         self.data = np.asarray(data, dtype=np.float64)
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = (bool(requires_grad)
+                              and getattr(_GRAD_STATE, "enabled", True))
         self.grad: np.ndarray | None = None
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
@@ -134,16 +159,34 @@ class Tensor:
     ) -> "Tensor":
         parents = tuple(p for p in parents if isinstance(p, Tensor))
         out = cls(data)
-        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+        if (getattr(_GRAD_STATE, "enabled", True)
+                and any(p.requires_grad for p in parents)):
             out.requires_grad = True
             out._parents = parents
             out._backward = backward
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
-        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+    def _accumulate(self, grad: np.ndarray, own: bool = False) -> None:
+        """Add ``grad`` into ``self.grad``.
+
+        ``own=True`` asserts that the caller created ``grad`` exclusively
+        for this tensor and holds no other reference to it, letting the
+        first accumulation adopt the buffer instead of copying it —
+        backward closures that compute a fresh temporary (``grad * x``,
+        a GEMM result, a scatter buffer) pass ``own=True``; closures
+        that forward the upstream gradient or a view of it must not.
+        """
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != self.data.shape:
+            # _unbroadcast sums at least one axis here, so its result is
+            # always a freshly allocated array we may adopt.
+            grad = _unbroadcast(grad, self.data.shape)
+            own = True
         if self.grad is None:
-            self.grad = grad.copy()
+            if own and grad.flags.writeable:
+                self.grad = grad
+            else:
+                self.grad = grad.copy()
         else:
             self.grad += grad
 
@@ -196,7 +239,7 @@ class Tensor:
     def __neg__(self) -> "Tensor":
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(-grad)
+                self._accumulate(-grad, own=True)
 
         return Tensor._make(-self.data, (self,), backward)
 
@@ -208,7 +251,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad)
             if other_t.requires_grad:
-                other_t._accumulate(-grad)
+                other_t._accumulate(-grad, own=True)
 
         return Tensor._make(out_data, (self, other_t), backward)
 
@@ -221,9 +264,9 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * other_t.data)
+                self._accumulate(grad * other_t.data, own=True)
             if other_t.requires_grad:
-                other_t._accumulate(grad * self.data)
+                other_t._accumulate(grad * self.data, own=True)
 
         return Tensor._make(out_data, (self, other_t), backward)
 
@@ -235,9 +278,10 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad / other_t.data)
+                self._accumulate(grad / other_t.data, own=True)
             if other_t.requires_grad:
-                other_t._accumulate(-grad * self.data / (other_t.data**2))
+                other_t._accumulate(-grad * self.data / (other_t.data**2),
+                                    own=True)
 
         return Tensor._make(out_data, (self, other_t), backward)
 
@@ -251,7 +295,8 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+                self._accumulate(grad * exponent * self.data ** (exponent - 1),
+                                 own=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -264,18 +309,18 @@ class Tensor:
                 if other_t.data.ndim == 1:
                     self._accumulate(np.outer(grad, other_t.data)
                                      if self.data.ndim == 2
-                                     else grad * other_t.data)
+                                     else grad * other_t.data, own=True)
                 else:
                     self._accumulate(
                         _unbroadcast(grad @ np.swapaxes(other_t.data, -1, -2),
-                                     self.data.shape))
+                                     self.data.shape), own=True)
             if other_t.requires_grad:
                 if self.data.ndim == 1:
-                    other_t._accumulate(np.outer(self.data, grad))
+                    other_t._accumulate(np.outer(self.data, grad), own=True)
                 else:
                     other_t._accumulate(
                         _unbroadcast(np.swapaxes(self.data, -1, -2) @ grad,
-                                     other_t.data.shape))
+                                     other_t.data.shape), own=True)
 
         return Tensor._make(out_data, (self, other_t), backward)
 
@@ -287,7 +332,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * (1.0 - out_data**2))
+                self._accumulate(grad * (1.0 - out_data**2), own=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -296,7 +341,8 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * out_data * (1.0 - out_data))
+                self._accumulate(grad * out_data * (1.0 - out_data),
+                                 own=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -305,7 +351,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * (self.data > 0.0))
+                self._accumulate(grad * (self.data > 0.0), own=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -314,7 +360,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * out_data)
+                self._accumulate(grad * out_data, own=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -323,7 +369,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad / self.data)
+                self._accumulate(grad / self.data, own=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -384,12 +430,19 @@ class Tensor:
 
     def __getitem__(self, key: object) -> "Tensor":
         out_data = self.data[key]
+        basic = _is_basic_index(key)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 full = np.zeros_like(self.data)
-                np.add.at(full, key, grad)
-                self._accumulate(full)
+                if basic:
+                    # Basic indexing hits each element at most once, so a
+                    # plain assignment scatters the gradient correctly —
+                    # orders of magnitude faster than np.add.at.
+                    full[key] = grad
+                else:
+                    np.add.at(full, key, grad)
+                self._accumulate(full, own=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -401,7 +454,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 inner = (grad * out_data).sum(axis=axis, keepdims=True)
-                self._accumulate(out_data * (grad - inner))
+                self._accumulate(out_data * (grad - inner), own=True)
 
         return Tensor._make(out_data, (self,), backward)
 

@@ -9,6 +9,11 @@ Measures, at a named experiment scale:
   loop vs :meth:`LEAD.detect_processed_batch`;
 * batched-vs-unbatched equivalence (``allclose`` at ``rtol=1e-9`` over
   the full test set, plus the observed max abs deviation);
+* autoencoder training throughput (optimizer steps/sec) on the scale's
+  own featurized candidates: the fused default path
+  (:mod:`repro.nn.fused` single-node kernels + length-bucketed
+  batching) versus the legacy per-step tape with the historical batch
+  stream (``fused=False, bucket_batches=False``);
 * wall-clock of a full tiny-scale offline ``fit`` (always tiny,
   whatever the bench scale — it is the trend line, not a rate).
 
@@ -34,7 +39,12 @@ __all__ = ["run_bench", "compare_to_baseline", "format_bench_table",
 
 #: Throughput metrics (higher is better) covered by the CI gate.
 GATED_METRICS = ("encode_single_tps", "encode_batch_tps",
-                 "detect_single_tps", "detect_batch_tps")
+                 "detect_single_tps", "detect_batch_tps",
+                 "train_steps_fused_sps")
+
+#: Candidates used for the training throughput measurement (keeps the
+#: default-scale bench to a few seconds; tiny scales have fewer anyway).
+_TRAIN_BENCH_CANDIDATES = 256
 
 
 def _best_time(fn: Callable[[], object], repeats: int) -> float:
@@ -116,6 +126,9 @@ def run_bench(scale: str | None = None, repeats: int = 3,
         "max_abs_diff": max_diff,
     }
 
+    # -- training throughput: fused default vs legacy tape ----------------
+    metrics.update(_training_metrics(lead, processed, repeats))
+
     # -- tiny-scale train wall-clock --------------------------------------
     if train_wall:
         metrics["train_tiny_wall_s"] = _tiny_train_wall(verbose)
@@ -138,6 +151,63 @@ def run_bench(scale: str | None = None, repeats: int = 3,
         "equivalence": equivalence,
         "feature_cache": cache_stats,
     }
+
+
+def _training_metrics(lead, processed, repeats: int,
+                      max_candidates: int = _TRAIN_BENCH_CANDIDATES) -> dict:
+    """Autoencoder training steps/sec: fused default path vs legacy tape.
+
+    Both runs train a freshly initialized model (same seed) on the same
+    candidates for one epoch at the default batch size; the *fused* run
+    uses this release's default trainer configuration (fused kernels +
+    length-bucketed batching), the *unfused* reference uses the legacy
+    per-step tape over the historical unbucketed batch stream, i.e. the
+    training path as it existed before the fused kernels landed.  The
+    step count is identical in both (bucketing reorders batch contents,
+    it does not change the number of optimizer steps).
+    """
+    from ..encoding import (AutoencoderTrainer, AutoencoderTrainingConfig,
+                            HierarchicalAutoencoder)
+    samples = []
+    for item in processed:
+        samples.extend(lead.featurizer.featurize_all(item.candidates))
+        if len(samples) >= max_candidates:
+            break
+    samples = samples[:max_candidates]
+    if not samples:
+        return {}
+    configs = {
+        "fused": AutoencoderTrainingConfig(epochs=1, seed=0),
+        "unfused": AutoencoderTrainingConfig(epochs=1, seed=0, fused=False,
+                                             bucket_batches=False),
+    }
+    batch_size = configs["fused"].batch_size
+    steps = int(np.ceil(len(samples) / batch_size))
+    metrics: dict[str, float] = {"train_bench_candidates": len(samples),
+                                 "train_bench_steps": steps}
+
+    def timed_fit(cfg) -> float:
+        """Wall-clock of ``fit`` alone (model init excluded)."""
+        model = HierarchicalAutoencoder(lead.config.encoder)
+        trainer = AutoencoderTrainer(model, cfg)
+        start = time.perf_counter()
+        trainer.fit(samples)
+        return time.perf_counter() - start
+
+    # Interleave the two measurements so slow drift on shared CI
+    # machines hits both paths equally; training runs are short, so a
+    # higher repeat floor is affordable and tames the ratio's noise.
+    rounds = max(repeats, 5)
+    walls = {name: float("inf") for name in configs}
+    timed_fit(configs["fused"])  # warm-up (allocator, BLAS threads)
+    for _ in range(rounds):
+        for name, cfg in configs.items():
+            walls[name] = min(walls[name], timed_fit(cfg))
+    for name in configs:
+        metrics[f"train_epoch_{name}_s"] = walls[name]
+        metrics[f"train_steps_{name}_sps"] = steps / walls[name]
+    metrics["train_fused_speedup"] = walls["unfused"] / walls["fused"]
+    return metrics
 
 
 def _tiny_train_wall(verbose: bool) -> float:
@@ -182,8 +252,9 @@ def compare_to_baseline(current: dict, baseline: dict,
             continue
         floor = base / max_regression
         if cur < floor:
+            unit = "steps/s" if key.startswith("train_") else "traj/s"
             failures.append(
-                f"{key}: {cur:.2f} traj/s is more than "
+                f"{key}: {cur:.2f} {unit} is more than "
                 f"{max_regression:g}x below the baseline {base:.2f} "
                 f"(floor {floor:.2f})")
     if not current.get("equivalence", {}).get("allclose", False):
@@ -214,6 +285,13 @@ def format_bench_table(payload: dict) -> str:
          f"{metrics['featurize_warm_s']:8.3f} s",
          f"{metrics['featurize_cache_speedup']:.0f}x"),
     ]
+    if "train_steps_fused_sps" in metrics:
+        rows.append(("train (legacy per-step tape)",
+                     f"{metrics['train_steps_unfused_sps']:8.2f} steps/s",
+                     ""))
+        rows.append(("train (fused + bucketed)",
+                     f"{metrics['train_steps_fused_sps']:8.2f} steps/s",
+                     f"{metrics['train_fused_speedup']:.1f}x"))
     if "train_tiny_wall_s" in metrics:
         rows.append(("offline fit (tiny scale)",
                      f"{metrics['train_tiny_wall_s']:8.2f} s", ""))
