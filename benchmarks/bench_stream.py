@@ -1,0 +1,91 @@
+"""Streaming-layer benchmark: pings/sec, per-tick latency, CI gate.
+
+Replays the experiment scale's test set as one interleaved fleet ping
+feed through :class:`repro.stream.FleetSessionManager` and measures
+ingest throughput, per-tick detection latency, flush throughput, and
+the suffix-only refeaturization property (late ticks hit the
+slice-keyed segment cache for every closed segment, so per-ping cost is
+sublinear in trajectory length).  The payload also records
+streamed-vs-offline equivalence: every final verdict must match
+``LEAD.detect`` bit-for-bit in pair and ``allclose`` in distribution.
+
+Run standalone (this is what CI does, gated against the committed
+baseline)::
+
+    PYTHONPATH=src python benchmarks/bench_stream.py --scale tiny \
+        --out BENCH_stream.json \
+        --baseline benchmarks/baselines/BENCH_stream_tiny.json
+
+or through pytest alongside the other benchmarks
+(``pytest benchmarks/bench_stream.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.io import atomic_write_json
+from repro.perf import (STREAM_GATED_METRICS, compare_to_baseline,
+                        format_stream_bench_table, run_stream_bench)
+
+
+def test_stream_bench_payload(experiment):
+    """The streaming bench payload is well-formed and equivalent."""
+    payload = run_stream_bench(scale=experiment.config.name, repeats=1,
+                               num_ticks=4)
+    for key in STREAM_GATED_METRICS:
+        assert payload["metrics"][key] > 0
+    assert payload["equivalence"]["allclose"]
+    assert payload["sublinear"] is None or payload["sublinear"]["suffix_only"]
+    json.dumps(payload)  # JSON-safe
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="streaming detection throughput benchmark")
+    parser.add_argument("--scale", default=None,
+                        choices=["tiny", "small", "default"],
+                        help="experiment scale (default: REPRO_SCALE or "
+                             "'default')")
+    parser.add_argument("--out", default="BENCH_stream.json")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--ticks", type=int, default=8,
+                        help="detection ticks spread across the replay")
+    parser.add_argument("--baseline", default=None,
+                        help="committed BENCH_stream json to gate "
+                             "against; exits 2 on regression")
+    parser.add_argument("--max-regression", type=float, default=2.0)
+    args = parser.parse_args(argv)
+    payload = run_stream_bench(scale=args.scale, repeats=args.repeats,
+                               num_ticks=args.ticks)
+    atomic_write_json(args.out, payload)
+    print(format_stream_bench_table(payload))
+    print(f"wrote {args.out}")
+    if not payload["equivalence"]["allclose"]:
+        print("FAIL: streamed final verdicts diverge from offline "
+              "LEAD.detect", file=sys.stderr)
+        return 2
+    if payload["sublinear"] is not None \
+            and not payload["sublinear"]["suffix_only"]:
+        print("FAIL: late ticks re-featurized closed segments "
+              "(suffix-only refeaturization broken)", file=sys.stderr)
+        return 2
+    if args.baseline is not None:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        failures = compare_to_baseline(payload, baseline,
+                                       max_regression=args.max_regression,
+                                       metrics=STREAM_GATED_METRICS)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 2
+        print(f"no regression vs {args.baseline} "
+              f"(threshold {args.max_regression:g}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,6 +47,8 @@ from .analysis import (Waybill, audit_detection, find_unregistered_sites,
                        waybill_from_detection)
 from .perf import (LRUCache, SegmentFeatureCache, parallel_map, run_bench,
                    spawn_rng)
+from .stream import (FleetConfig, FleetSessionManager, ProvisionalVerdict,
+                     TruckSession)
 
 __version__ = "1.0.0"
 
@@ -77,5 +79,7 @@ __all__ = [
     "find_unregistered_sites",
     "LRUCache", "SegmentFeatureCache", "parallel_map", "spawn_rng",
     "run_bench",
+    "TruckSession", "FleetConfig", "FleetSessionManager",
+    "ProvisionalVerdict",
     "__version__",
 ]

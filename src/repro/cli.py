@@ -9,6 +9,7 @@ Subcommands::
     python -m repro.cli verify   --model model/
     python -m repro.cli tables   --scale small
     python -m repro.cli bench    --scale tiny --out BENCH_lead.json
+    python -m repro.cli stream   --data data.json.gz --model model/
 
 ``generate``/``train``/``detect``/``evaluate`` operate on explicit files;
 ``verify`` integrity-checks a saved model directory against its
@@ -131,6 +132,52 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    import json
+    from .data import HCTDataset
+    from .pipeline import LEAD, LEADConfig
+    from .stream import (FleetConfig, FleetSessionManager,
+                         dataset_ping_stream, scramble_stream)
+    dataset = HCTDataset.load(args.data)
+    world = _world_for_seed(args.seed)
+    lead = LEAD(world.pois, LEADConfig(seed=args.seed)).load(args.model)
+    manager = FleetSessionManager(lead, FleetConfig(
+        max_sessions=args.max_sessions,
+        reorder_capacity=args.reorder_capacity,
+        checkpoint_dir=args.checkpoint_dir))
+    samples = dataset.samples
+    if args.limit is not None:
+        samples = samples[:args.limit]
+    pings = dataset_ping_stream(samples)
+    if args.scramble > 1:
+        pings = scramble_stream(pings, window=args.scramble, seed=args.seed)
+    print(f"replaying {len(pings)} pings from {len(samples)} truck-days "
+          f"(tick every {args.tick_s:g}s of simulated time)")
+    announced: dict[tuple[str, str], tuple] = {}
+
+    def _announce(verdicts) -> None:
+        for verdict in verdicts:
+            key = (verdict.truck_id, verdict.day)
+            state = (verdict.pair, verdict.confidence, verdict.final)
+            if announced.get(key) != state:
+                announced[key] = state
+                print(f"  {verdict.summary()}")
+
+    next_tick = None
+    for ping in pings:
+        if next_tick is None:
+            next_tick = ping.t + args.tick_s
+        while ping.t >= next_tick:
+            _announce(manager.tick())
+            next_tick += args.tick_s
+        manager.ingest(ping.truck_id, ping.lat, ping.lng, ping.t,
+                       day=ping.day)
+    print("end of feed; finalizing every session:")
+    _announce(manager.flush_all())
+    print(json.dumps(manager.stats(), indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
     from .io import atomic_write_json
@@ -209,6 +256,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="discard and retrain artifacts that fail "
                         "integrity checks instead of aborting")
     p.set_defaults(func=_cmd_tables)
+
+    p = sub.add_parser("stream",
+                       help="replay a dataset as a live fleet ping feed "
+                            "with provisional verdicts")
+    p.add_argument("--data", required=True)
+    p.add_argument("--model", required=True)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--tick-s", type=float, default=1800.0,
+                   help="simulated seconds between detection ticks")
+    p.add_argument("--max-sessions", type=int, default=1024,
+                   help="resident session bound (LRU beyond it)")
+    p.add_argument("--reorder-capacity", type=int, default=16,
+                   help="per-session out-of-order ping tolerance")
+    p.add_argument("--checkpoint-dir", default=None,
+                   help="spill evicted sessions here (exact restore); "
+                        "omit to drop them")
+    p.add_argument("--scramble", type=int, default=1,
+                   help="shuffle pings within windows of this size to "
+                        "simulate out-of-order arrival")
+    p.add_argument("--limit", type=int, default=None,
+                   help="replay only the first N truck-days")
+    p.set_defaults(func=_cmd_stream)
 
     p = sub.add_parser("bench",
                        help="measure encode/detect throughput and write "

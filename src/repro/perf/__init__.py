@@ -10,7 +10,9 @@ what it computes:
   trajectories/sec and writes ``BENCH_lead.json``.
 """
 
-from .bench import compare_to_baseline, format_bench_table, run_bench
+from .bench import (STREAM_GATED_METRICS, compare_to_baseline,
+                    format_bench_table, format_stream_bench_table,
+                    run_bench, run_stream_bench)
 from .cache import CacheStats, LRUCache, SegmentFeatureCache, \
     TrajectoryFingerprinter
 from .parallel import effective_workers, parallel_map, spawn_rng
@@ -19,5 +21,7 @@ __all__ = [
     "CacheStats", "LRUCache", "SegmentFeatureCache",
     "TrajectoryFingerprinter",
     "effective_workers", "parallel_map", "spawn_rng",
-    "run_bench", "compare_to_baseline", "format_bench_table",
+    "run_bench", "run_stream_bench", "compare_to_baseline",
+    "format_bench_table", "format_stream_bench_table",
+    "STREAM_GATED_METRICS",
 ]

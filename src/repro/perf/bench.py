@@ -34,13 +34,19 @@ from typing import Callable
 
 import numpy as np
 
-__all__ = ["run_bench", "compare_to_baseline", "format_bench_table",
-           "GATED_METRICS"]
+__all__ = ["run_bench", "run_stream_bench", "compare_to_baseline",
+           "format_bench_table", "format_stream_bench_table",
+           "GATED_METRICS", "STREAM_GATED_METRICS"]
 
 #: Throughput metrics (higher is better) covered by the CI gate.
 GATED_METRICS = ("encode_single_tps", "encode_batch_tps",
                  "detect_single_tps", "detect_batch_tps",
                  "train_steps_fused_sps")
+
+#: Streaming throughput metrics (higher is better) gated by
+#: ``benchmarks/bench_stream.py`` against its committed baseline.
+STREAM_GATED_METRICS = ("stream_ingest_pps", "stream_tick_sps",
+                        "stream_flush_sps")
 
 #: Candidates used for the training throughput measurement (keeps the
 #: default-scale bench to a few seconds; tiny scales have fewer anyway).
@@ -226,14 +232,18 @@ def _tiny_train_wall(verbose: bool) -> float:
 
 
 def compare_to_baseline(current: dict, baseline: dict,
-                        max_regression: float = 2.0) -> list[str]:
+                        max_regression: float = 2.0,
+                        metrics: tuple[str, ...] = GATED_METRICS
+                        ) -> list[str]:
     """CI regression gate: list of human-readable failures (empty = pass).
 
     A gated throughput metric fails when it drops more than
     ``max_regression``× below the committed baseline.  Scales must
     match — comparing tiny CI numbers against a default-scale baseline
     would gate on noise.  A baseline missing a metric never fails (new
-    metrics phase in without flag days).
+    metrics phase in without flag days).  ``metrics`` selects the gated
+    set: :data:`GATED_METRICS` for the offline bench,
+    :data:`STREAM_GATED_METRICS` for the streaming bench.
     """
     if max_regression < 1.0:
         raise ValueError("max_regression must be >= 1.0")
@@ -245,14 +255,21 @@ def compare_to_baseline(current: dict, baseline: dict,
         return failures
     base_metrics = baseline.get("metrics", {})
     cur_metrics = current.get("metrics", {})
-    for key in GATED_METRICS:
+    for key in metrics:
         base = base_metrics.get(key)
         cur = cur_metrics.get(key)
         if base is None or cur is None:
             continue
         floor = base / max_regression
         if cur < floor:
-            unit = "steps/s" if key.startswith("train_") else "traj/s"
+            if key.startswith("train_"):
+                unit = "steps/s"
+            elif key == "stream_ingest_pps":
+                unit = "pings/s"
+            elif key.startswith("stream_"):
+                unit = "sessions/s"
+            else:
+                unit = "traj/s"
             failures.append(
                 f"{key}: {cur:.2f} {unit} is more than "
                 f"{max_regression:g}x below the baseline {base:.2f} "
@@ -263,6 +280,166 @@ def compare_to_baseline(current: dict, baseline: dict,
             f"(max abs diff "
             f"{current.get('equivalence', {}).get('max_abs_diff')})")
     return failures
+
+
+def run_stream_bench(scale: str | None = None, repeats: int = 3,
+                     num_ticks: int = 8, verbose: bool = False) -> dict:
+    """Benchmark the online detection layer at one experiment scale.
+
+    Reuses the cached offline artifacts, replays the scale's test set as
+    an interleaved fleet ping feed, and measures
+
+    * raw ingest throughput (pings/sec through sanitize → reorder →
+      noise filter → stay-point scanner, no detector attached);
+    * per-tick detection latency (mean and p95 over ``num_ticks`` ticks
+      spread across the feed) and tick throughput in sessions/sec;
+    * flush throughput (final verdicts/sec over the whole fleet);
+    * suffix-refeaturization evidence: per-tick feature-cache misses on
+      the longest trajectory — late ticks must not miss more than early
+      ones, because closed segments keep hitting the slice-keyed cache
+      (this is what makes amortized per-ping cost sublinear in the
+      trajectory length);
+    * streamed-vs-offline equivalence: every final verdict must carry
+      the same candidate pair as offline ``LEAD.detect`` with an
+      ``allclose`` distribution at ``rtol=1e-9``.
+    """
+    from ..experiments import Experiment, get_experiment_config
+    from ..stream import FleetConfig, FleetSessionManager, \
+        dataset_ping_stream
+    config = get_experiment_config(scale)
+    experiment = Experiment(config, retrain_if_corrupt=True)
+    lead = experiment.lead_variant("LEAD", verbose=verbose)
+    raw = [p.raw for p, _ in experiment.test_set()]
+    if not raw:
+        raise ValueError(f"scale {config.name!r} has an empty test set")
+    pings = dataset_ping_stream(raw)
+    n_sessions = len(raw)
+    metrics: dict[str, float] = {}
+
+    # -- ingest throughput (no detector) -----------------------------------
+    def replay_ingest() -> None:
+        manager = FleetSessionManager(None, FleetConfig(
+            max_sessions=n_sessions + 1))
+        for ping in pings:
+            manager.ingest(ping.truck_id, ping.lat, ping.lng, ping.t,
+                           day=ping.day)
+    metrics["stream_ingest_pps"] = (
+        len(pings) / _best_time(replay_ingest, repeats))
+
+    # -- tick latency / throughput -----------------------------------------
+    _clear_feature_caches(lead)
+    manager = FleetSessionManager(lead, FleetConfig(
+        max_sessions=n_sessions + 1))
+    chunk = max(1, len(pings) // num_ticks)
+    tick_walls: list[float] = []
+    tick_verdicts = 0
+    for start in range(0, len(pings), chunk):
+        for ping in pings[start:start + chunk]:
+            manager.ingest(ping.truck_id, ping.lat, ping.lng, ping.t,
+                           day=ping.day)
+        t0 = time.perf_counter()
+        tick_verdicts += len(manager.tick())
+        tick_walls.append(time.perf_counter() - t0)
+    metrics["stream_tick_mean_s"] = float(np.mean(tick_walls))
+    metrics["stream_tick_p95_s"] = float(np.percentile(tick_walls, 95))
+    metrics["stream_tick_sps"] = tick_verdicts / sum(tick_walls)
+
+    # -- flush throughput ---------------------------------------------------
+    t0 = time.perf_counter()
+    finals = manager.flush_all()
+    metrics["stream_flush_sps"] = len(finals) / (time.perf_counter() - t0)
+    cache_stats = (lead.feature_cache.stats.as_dict()
+                   if lead.feature_cache is not None else None)
+
+    # -- suffix-only refeaturization on the longest trajectory --------------
+    sublinear = None
+    if lead.feature_cache is not None:
+        longest = max(raw, key=len)
+        lead.feature_cache.clear()
+        solo = FleetSessionManager(lead, FleetConfig())
+        step = max(1, len(longest) // 10)
+        miss_per_tick: list[int] = []
+        for i, (lat, lng, t) in enumerate(zip(longest.lats, longest.lngs,
+                                              longest.ts)):
+            solo.ingest(str(longest.truck_id), float(lat), float(lng),
+                        float(t), day=str(longest.day))
+            if (i + 1) % step == 0:
+                before = lead.feature_cache.stats.misses
+                solo.tick()
+                miss_per_tick.append(
+                    lead.feature_cache.stats.misses - before)
+        solo.flush_all()
+        busy = [m for m in miss_per_tick if m]
+        sublinear = {
+            "trajectory_pings": len(longest),
+            "misses_per_tick": miss_per_tick,
+            "hit_rate": lead.feature_cache.stats.hit_rate,
+            # Late ticks re-featurize no more than early ones: the
+            # closed prefix is served from the slice-keyed cache.
+            "suffix_only": bool(not busy or busy[-1] <= max(busy[0], 4)),
+        }
+
+    # -- streamed == offline -----------------------------------------------
+    by_key = {(v.truck_id, v.day): v for v in finals}
+    max_diff, allclose, compared = 0.0, True, 0
+    for trajectory in raw:
+        offline = lead.detect(trajectory)
+        verdict = by_key[(str(trajectory.truck_id), str(trajectory.day))]
+        if offline is None:
+            allclose &= verdict.pair is None
+            continue
+        compared += 1
+        if (verdict.pair != offline.pair
+                or not np.allclose(verdict.distribution,
+                                   offline.distribution,
+                                   rtol=1e-9, atol=0.0)):
+            allclose = False
+            continue
+        max_diff = max(max_diff, float(np.abs(
+            verdict.distribution - offline.distribution).max()))
+    equivalence = {"rtol": 1e-9, "allclose": bool(allclose),
+                   "max_abs_diff": max_diff,
+                   "trajectories_compared": compared}
+
+    return {
+        "schema": 1,
+        "kind": "stream",
+        "scale": config.name,
+        "generated_unix": time.time(),
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "num_sessions": n_sessions,
+        "num_pings": len(pings),
+        "num_ticks": len(tick_walls),
+        "metrics": metrics,
+        "equivalence": equivalence,
+        "sublinear": sublinear,
+        "feature_cache": cache_stats,
+    }
+
+
+def format_stream_bench_table(payload: dict) -> str:
+    """Render a streaming bench payload as a readable table."""
+    metrics = payload["metrics"]
+    lines = [
+        f"scale={payload['scale']}  sessions={payload['num_sessions']}  "
+        f"pings={payload['num_pings']}  ticks={payload['num_ticks']}",
+        f"  ingest            {metrics['stream_ingest_pps']:10.0f} pings/s",
+        f"  tick (mean)       {metrics['stream_tick_mean_s'] * 1e3:10.2f} ms",
+        f"  tick (p95)        {metrics['stream_tick_p95_s'] * 1e3:10.2f} ms",
+        f"  tick throughput   {metrics['stream_tick_sps']:10.1f} sessions/s",
+        f"  flush             {metrics['stream_flush_sps']:10.1f} sessions/s",
+    ]
+    sublinear = payload.get("sublinear")
+    if sublinear:
+        lines.append(
+            f"  refeaturization   suffix_only={sublinear['suffix_only']}  "
+            f"cache_hit_rate={sublinear['hit_rate']:.2f}")
+    return "\n".join(lines)
 
 
 def format_bench_table(payload: dict) -> str:

@@ -123,25 +123,53 @@ class TrajectoryFingerprinter:
     """
 
     def __init__(self, max_entries: int = 4096) -> None:
-        self._memo: OrderedDict[int, tuple[object, bytes]] = OrderedDict()
+        self._memo: OrderedDict[tuple, tuple[object, bytes]] = OrderedDict()
         self._max_entries = max_entries
 
-    def fingerprint(self, trajectory) -> bytes:
-        key = id(trajectory)
+    def _memoized(self, key: tuple, trajectory, build) -> bytes:
         cached = self._memo.get(key)
         if cached is not None and cached[0] is trajectory:
             self._memo.move_to_end(key)
             return cached[1]
-        digest = _digest(
-            np.ascontiguousarray(trajectory.lats, dtype=np.float64).tobytes(),
-            np.ascontiguousarray(trajectory.lngs, dtype=np.float64).tobytes(),
-            np.ascontiguousarray(trajectory.ts, dtype=np.float64).tobytes(),
-            repr((getattr(trajectory, "truck_id", None),
-                  getattr(trajectory, "day", None))).encode())
+        digest = build()
         self._memo[key] = (trajectory, digest)
         while len(self._memo) > self._max_entries:
             self._memo.popitem(last=False)
         return digest
+
+    def fingerprint(self, trajectory) -> bytes:
+        return self._memoized(
+            (id(trajectory),), trajectory,
+            lambda: _digest(
+                np.ascontiguousarray(trajectory.lats,
+                                     dtype=np.float64).tobytes(),
+                np.ascontiguousarray(trajectory.lngs,
+                                     dtype=np.float64).tobytes(),
+                np.ascontiguousarray(trajectory.ts,
+                                     dtype=np.float64).tobytes(),
+                repr((getattr(trajectory, "truck_id", None),
+                      getattr(trajectory, "day", None))).encode()))
+
+    def fingerprint_slice(self, trajectory, start: int, end: int) -> bytes:
+        """Content digest of points ``[start, end]`` (inclusive) only.
+
+        Segment features are a pure function of the fixes *inside* the
+        segment, so keying on the slice content (rather than the whole
+        trajectory) lets a growing streamed trajectory keep hitting the
+        entries of its stable prefix: appending pings changes the full
+        fingerprint but not the bytes of any closed segment.  Memoized
+        per ``(object, start, end)`` so a tick's snapshot hashes each
+        segment at most once.
+        """
+        return self._memoized(
+            (id(trajectory), start, end), trajectory,
+            lambda: _digest(
+                np.ascontiguousarray(trajectory.lats[start:end + 1],
+                                     dtype=np.float64).tobytes(),
+                np.ascontiguousarray(trajectory.lngs[start:end + 1],
+                                     dtype=np.float64).tobytes(),
+                np.ascontiguousarray(trajectory.ts[start:end + 1],
+                                     dtype=np.float64).tobytes()))
 
 
 class SegmentFeatureCache:
@@ -168,8 +196,19 @@ class SegmentFeatureCache:
         return len(self._lru)
 
     def key_for(self, segment, context: bytes) -> tuple:
-        """The cache key of one stay/move segment under a context."""
-        return (self._fingerprinter.fingerprint(segment.trajectory),
+        """The cache key of one stay/move segment under a context.
+
+        The trajectory contributes only the *slice* the segment covers:
+        features depend on nothing outside ``[start, end]``, and slice
+        keying is what makes streaming ingest suffix-cheap — every tick
+        snapshot of a growing trajectory is a new object with a new full
+        fingerprint, but its closed segments carry identical slices at
+        identical indices and keep hitting the same entries.  ``start``/
+        ``end`` stay in the key because the subsampling grid is anchored
+        at absolute indices.
+        """
+        return (self._fingerprinter.fingerprint_slice(
+                    segment.trajectory, segment.start, segment.end),
                 type(segment).__name__, segment.start, segment.end, context)
 
     def get(self, segment, context: bytes) -> np.ndarray | None:

@@ -527,6 +527,32 @@ class LEAD:
             results[idx] = result
         return results
 
+    def detect_many(self, processed_list: list[ProcessedTrajectory],
+                    notes_list: list[list[str]] | None = None
+                    ) -> list[DetectionResult]:
+        """Degradation-aware batched detection over processed snapshots.
+
+        The serving contract of the streaming layer
+        (:class:`repro.stream.FleetSessionManager`): callers that already
+        hold :class:`~repro.processing.ProcessedTrajectory` snapshots —
+        and, optionally, the sanitize provenance notes that produced
+        them — get one fused tier walk over the whole batch.  Results
+        line up with the input order and match what
+        :meth:`detect` computes per trajectory from the same snapshot
+        (same pair, ``allclose`` distribution, identical provenance),
+        including the degraded tiers when detectors are missing or
+        numerically unstable.
+        """
+        self._require_fitted()
+        if notes_list is None:
+            notes_list = [[] for _ in processed_list]
+        if len(notes_list) != len(processed_list):
+            raise ValueError(
+                f"notes_list length {len(notes_list)} != processed_list "
+                f"length {len(processed_list)}")
+        return self._detect_many_with_degradation(
+            processed_list, [list(n) for n in notes_list])
+
     def _detect_many_with_degradation(
             self, processed_list: list[ProcessedTrajectory],
             notes_list: list[list[str]]) -> list[DetectionResult]:

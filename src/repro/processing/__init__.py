@@ -5,15 +5,19 @@ generation (DESIGN.md S11-S13).
 """
 
 from .noise import NoiseFilter
-from .staypoints import StayPointExtractor, extract_move_points
+from .staypoints import (StayPointExtractor, StayPointScanner,
+                         extract_move_points)
 from .candidates import CandidateGenerator
 from .pipeline import ProcessedTrajectory, RawTrajectoryProcessor
-from .validation import (MIN_USABLE_FIXES, sanitize_trajectory,
+from .validation import (MIN_USABLE_FIXES, ReorderBuffer, ReorderStats,
+                         monotonize_stream, sanitize_trajectory,
                          trajectory_from_raw, trajectory_issues)
 
 __all__ = [
-    "NoiseFilter", "StayPointExtractor", "extract_move_points",
+    "NoiseFilter", "StayPointExtractor", "StayPointScanner",
+    "extract_move_points",
     "CandidateGenerator", "ProcessedTrajectory", "RawTrajectoryProcessor",
-    "MIN_USABLE_FIXES", "sanitize_trajectory", "trajectory_from_raw",
+    "MIN_USABLE_FIXES", "ReorderBuffer", "ReorderStats",
+    "monotonize_stream", "sanitize_trajectory", "trajectory_from_raw",
     "trajectory_issues",
 ]

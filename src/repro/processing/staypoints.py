@@ -6,6 +6,21 @@ lasts at least ``Tmin`` seconds it is a stay point and the anchor jumps past
 it, otherwise the anchor advances by one.  The produced stay points are
 temporally consecutive and numbered 1..n, as the paper requires for stay
 point ordinals.
+
+The algorithm is implemented once, as the *resumable*
+:class:`StayPointScanner` that consumes GPS fixes one at a time and emits
+a stay-point span the moment it is decidable.  Offline extraction
+(:meth:`StayPointExtractor.extract`) is literally a replay of the online
+path — feed every point, then flush — so the streaming subsystem
+(:mod:`repro.stream`) and the batch pipeline can never disagree about
+where stay points are.
+
+Why a span is decidable online: a run breaks the moment a fix falls more
+than ``Dmax`` from the anchor, and the accept/reject decision for the
+broken run depends only on fixes *before* the breaking one.  Future
+fixes can extend an unbroken run but never reopen a broken one, so every
+span emitted mid-stream is final.  Only the trailing (still open) run
+must wait for :meth:`StayPointScanner.finish`.
 """
 
 from __future__ import annotations
@@ -15,7 +30,162 @@ from dataclasses import dataclass
 from ..geo import haversine_m
 from ..model import MovePoint, StayPoint, Trajectory
 
-__all__ = ["StayPointExtractor", "extract_move_points"]
+__all__ = ["StayPointScanner", "StayPointExtractor", "extract_move_points"]
+
+
+class StayPointScanner:
+    """Resumable core of the stay-point rule algorithm.
+
+    Feed cleaned GPS fixes in timestamp order with :meth:`feed`; each
+    call returns the (possibly empty) list of ``(start, end)`` index
+    spans that became decidable, in ordinal order.  :meth:`finish`
+    decides the trailing open run exactly the way the offline algorithm
+    treats the end of a trajectory.  The scanner owns the growing point
+    buffer, so a session checkpoint (:meth:`state` / :meth:`from_state`)
+    captures everything needed to resume mid-day, bit-for-bit.
+    """
+
+    __slots__ = ("max_distance_m", "min_duration_s", "lats", "lngs", "ts",
+                 "_anchor", "_last", "_scan", "_emitted", "_finished")
+
+    def __init__(self, max_distance_m: float = 500.0,
+                 min_duration_s: float = 15.0 * 60.0) -> None:
+        if max_distance_m <= 0 or min_duration_s <= 0:
+            raise ValueError("thresholds must be positive")
+        self.max_distance_m = max_distance_m
+        self.min_duration_s = min_duration_s
+        #: The cleaned fixes seen so far (plain lists: append-only).
+        self.lats: list[float] = []
+        self.lngs: list[float] = []
+        self.ts: list[float] = []
+        self._anchor = 0      # first index of the current run
+        self._last = 0        # last index within Dmax of the anchor
+        self._scan = 1        # next index to test against the anchor
+        self._emitted = 0     # spans emitted so far (== next ordinal - 1)
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.ts)
+
+    @property
+    def num_emitted(self) -> int:
+        """How many stay-point spans have been emitted so far."""
+        return self._emitted
+
+    @property
+    def open_run(self) -> tuple[int, int] | None:
+        """The undecided trailing run ``(anchor, last)``, if any."""
+        if self._anchor >= len(self.ts):
+            return None
+        return (self._anchor, self._last)
+
+    def open_run_qualifies(self) -> bool:
+        """True when the open run would already be a stay point if the
+        stream ended now (it can only keep qualifying: the run's
+        duration is non-decreasing until it breaks)."""
+        run = self.open_run
+        if run is None:
+            return False
+        anchor, last = run
+        return (last > anchor
+                and self.ts[last] - self.ts[anchor] >= self.min_duration_s)
+
+    # ------------------------------------------------------------------
+    def _close_run(self) -> tuple[int, int] | None:
+        """Decide the current run, advance the anchor, reset the scan."""
+        anchor, last = self._anchor, self._last
+        span = None
+        if (last > anchor
+                and self.ts[last] - self.ts[anchor] >= self.min_duration_s):
+            span = (anchor, last)
+            self._emitted += 1
+            self._anchor = last + 1
+        else:
+            self._anchor = anchor + 1
+        self._last = self._anchor
+        self._scan = self._anchor + 1
+        return span
+
+    def _advance(self, final: bool) -> list[tuple[int, int]]:
+        """Run the rule algorithm as far as the buffered fixes allow."""
+        spans: list[tuple[int, int]] = []
+        n = len(self.ts)
+        while True:
+            broke = False
+            while self._scan < n:
+                k = self._scan
+                distance = haversine_m(
+                    self.lats[self._anchor], self.lngs[self._anchor],
+                    self.lats[k], self.lngs[k])
+                if distance > self.max_distance_m:
+                    broke = True
+                    break
+                self._last = k
+                self._scan = k + 1
+            if broke:
+                span = self._close_run()
+                if span is not None:
+                    spans.append(span)
+                continue  # rescan the buffer from the new anchor
+            # Ran out of buffered fixes without breaking the run.
+            if not final:
+                return spans  # a future fix may still extend the run
+            if self._anchor >= n - 1:
+                return spans  # offline outer-loop exit: anchor at the end
+            span = self._close_run()
+            if span is not None:
+                spans.append(span)
+
+    # ------------------------------------------------------------------
+    def feed(self, lat: float, lng: float, t: float
+             ) -> list[tuple[int, int]]:
+        """Ingest one cleaned fix; return newly decidable spans.
+
+        Timestamps must be strictly increasing (the stream layer's
+        reorder buffer guarantees this before fixes reach the scanner).
+        """
+        if self._finished:
+            raise ValueError("scanner already finished")
+        if self.ts and t <= self.ts[-1]:
+            raise ValueError("scanner requires strictly increasing "
+                             "timestamps")
+        self.lats.append(float(lat))
+        self.lngs.append(float(lng))
+        self.ts.append(float(t))
+        return self._advance(final=False)
+
+    def finish(self) -> list[tuple[int, int]]:
+        """End of stream: decide everything still open (idempotent)."""
+        if self._finished:
+            return []
+        self._finished = True
+        return self._advance(final=True)
+
+    # ------------------------------------------------------------------
+    def state(self) -> dict:
+        """JSON-serializable resume state (exact: floats round-trip)."""
+        return {
+            "max_distance_m": self.max_distance_m,
+            "min_duration_s": self.min_duration_s,
+            "lats": list(self.lats), "lngs": list(self.lngs),
+            "ts": list(self.ts),
+            "anchor": self._anchor, "last": self._last, "scan": self._scan,
+            "emitted": self._emitted, "finished": self._finished,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StayPointScanner":
+        scanner = cls(state["max_distance_m"], state["min_duration_s"])
+        scanner.lats = [float(v) for v in state["lats"]]
+        scanner.lngs = [float(v) for v in state["lngs"]]
+        scanner.ts = [float(v) for v in state["ts"]]
+        scanner._anchor = int(state["anchor"])
+        scanner._last = int(state["last"])
+        scanner._scan = int(state["scan"])
+        scanner._emitted = int(state["emitted"])
+        scanner._finished = bool(state["finished"])
+        return scanner
 
 
 @dataclass(frozen=True)
@@ -30,30 +200,24 @@ class StayPointExtractor:
         if self.max_distance_m <= 0 or self.min_duration_s <= 0:
             raise ValueError("thresholds must be positive")
 
+    def scanner(self) -> StayPointScanner:
+        """A fresh resumable scanner with this extractor's thresholds."""
+        return StayPointScanner(self.max_distance_m, self.min_duration_s)
+
     def extract(self, trajectory: Trajectory) -> list[StayPoint]:
-        """All stay points of a (cleaned) trajectory, in temporal order."""
-        n = len(trajectory)
-        stay_points: list[StayPoint] = []
-        anchor = 0
-        while anchor < n - 1:
-            # Maximal run of successors within Dmax of the anchor.
-            last = anchor
-            for k in range(anchor + 1, n):
-                distance = haversine_m(
-                    trajectory.lats[anchor], trajectory.lngs[anchor],
-                    trajectory.lats[k], trajectory.lngs[k])
-                if distance > self.max_distance_m:
-                    break
-                last = k
-            duration = float(trajectory.ts[last] - trajectory.ts[anchor])
-            if last > anchor and duration >= self.min_duration_s:
-                stay_points.append(StayPoint(
-                    trajectory, anchor, last,
-                    ordinal=len(stay_points) + 1))
-                anchor = last + 1
-            else:
-                anchor += 1
-        return stay_points
+        """All stay points of a (cleaned) trajectory, in temporal order.
+
+        Implemented as a ping-by-ping replay of the online scanner, so
+        offline extraction and streaming ingest share one code path.
+        """
+        scanner = self.scanner()
+        spans: list[tuple[int, int]] = []
+        lats, lngs, ts = trajectory.lats, trajectory.lngs, trajectory.ts
+        for i in range(len(trajectory)):
+            spans.extend(scanner.feed(lats[i], lngs[i], ts[i]))
+        spans.extend(scanner.finish())
+        return [StayPoint(trajectory, start, end, ordinal=k + 1)
+                for k, (start, end) in enumerate(spans)]
 
 
 def extract_move_points(trajectory: Trajectory,

@@ -13,13 +13,17 @@ usable remains.
 
 from __future__ import annotations
 
+import heapq
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..errors import InvalidTrajectoryError
 from ..model import Trajectory
 
 __all__ = ["MIN_USABLE_FIXES", "trajectory_issues", "sanitize_trajectory",
-           "trajectory_from_raw"]
+           "trajectory_from_raw", "ReorderBuffer", "ReorderStats",
+           "monotonize_stream"]
 
 #: Fewer usable fixes than this cannot form even one move segment.
 MIN_USABLE_FIXES = 2
@@ -112,3 +116,167 @@ def trajectory_from_raw(lats, lngs, ts, truck_id: str = "",
             f"raw input for {truck_id or '?'}/{day or '?'} has "
             f"{int(ts.size)} usable fixes (need >= {MIN_USABLE_FIXES})")
     return Trajectory(lats, lngs, ts, truck_id=truck_id, day=day), notes
+
+
+# ---------------------------------------------------------------------------
+# Timestamp-monotonicity sanitization for ping *streams*
+# ---------------------------------------------------------------------------
+@dataclass
+class ReorderStats:
+    """Counters of one :class:`ReorderBuffer` instance.
+
+    ``reordered`` counts accepted pings that arrived behind a
+    later-stamped ping (and were put back in place); ``dropped`` counts
+    pings discarded as too late (older than an already-released
+    timestamp) or as exact duplicates.  Nothing in the buffer ever
+    raises — hostility is counted, not crashed on.
+    """
+
+    pushed: int = 0
+    released: int = 0
+    reordered: int = 0
+    dropped: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"pushed": self.pushed, "released": self.released,
+                "reordered": self.reordered, "dropped": self.dropped}
+
+
+class ReorderBuffer:
+    """Bounded buffer restoring timestamp monotonicity of a ping stream.
+
+    GPS uplinks batch, retry, and interleave: fixes arrive out of order
+    within a bounded window.  :class:`~repro.model.Trajectory` (and the
+    stay-point scanner) require strictly increasing timestamps, so both
+    the streaming ingest path and any caller feeding raw ping streams
+    route fixes through this buffer first.
+
+    * ``policy="reorder"`` (default) holds up to ``capacity`` fixes in a
+      min-heap and releases the oldest one per overflow, so any ping
+      displaced by at most ``capacity`` positions is silently put back
+      in place (counted in :attr:`ReorderStats.reordered`).
+    * ``policy="drop"`` releases in-order pings immediately and drops
+      every late ping (``capacity`` is ignored).
+
+    In both policies a ping at or behind the newest *released* timestamp
+    can no longer be placed and is dropped (counted, never raised); the
+    released stream is strictly increasing by construction.  The offline
+    analogue — an unbounded full sort — lives in
+    :func:`trajectory_from_raw`.
+    """
+
+    def __init__(self, capacity: int = 16, policy: str = "reorder") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if policy not in ("reorder", "drop"):
+            raise ValueError(f"unknown policy {policy!r}")
+        self.capacity = capacity
+        self.policy = policy
+        self.stats = ReorderStats()
+        self._heap: list[tuple[float, int, float, float]] = []
+        self._seq = 0                      # tie-break for equal timestamps
+        self._last_released = -np.inf
+        self._max_seen = -np.inf
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def _release(self) -> tuple[float, float, float] | None:
+        t, _, lat, lng = heapq.heappop(self._heap)
+        if t <= self._last_released:
+            self.stats.dropped += 1        # duplicate inside the window
+            return None
+        self._last_released = t
+        self.stats.released += 1
+        return (lat, lng, t)
+
+    def push(self, lat: float, lng: float, t: float
+             ) -> list[tuple[float, float, float]]:
+        """Ingest one fix; return the ``(lat, lng, t)`` fixes released
+        by it, in strictly increasing timestamp order."""
+        self.stats.pushed += 1
+        t = float(t)
+        if not np.isfinite(t) or t <= self._last_released:
+            self.stats.dropped += 1
+            return []
+        if self.policy == "drop":
+            self._last_released = t
+            self.stats.released += 1
+            return [(float(lat), float(lng), t)]
+        if t < self._max_seen:
+            self.stats.reordered += 1
+        else:
+            self._max_seen = t
+        heapq.heappush(self._heap, (t, self._seq, float(lat), float(lng)))
+        self._seq += 1
+        released: list[tuple[float, float, float]] = []
+        while len(self._heap) > self.capacity:
+            fix = self._release()
+            if fix is not None:
+                released.append(fix)
+        return released
+
+    def flush(self) -> list[tuple[float, float, float]]:
+        """Drain every buffered fix, in timestamp order."""
+        released: list[tuple[float, float, float]] = []
+        while self._heap:
+            fix = self._release()
+            if fix is not None:
+                released.append(fix)
+        return released
+
+    # ------------------------------------------------------------------
+    def state(self) -> dict:
+        """JSON-serializable resume state (exact float round-trip)."""
+        return {"capacity": self.capacity, "policy": self.policy,
+                "heap": [list(item) for item in self._heap],
+                "seq": self._seq,
+                "last_released": (None if self._last_released == -np.inf
+                                  else self._last_released),
+                "max_seen": (None if self._max_seen == -np.inf
+                             else self._max_seen),
+                "stats": self.stats.as_dict()}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ReorderBuffer":
+        buffer = cls(int(state["capacity"]), str(state["policy"]))
+        buffer._heap = [(float(t), int(seq), float(lat), float(lng))
+                        for t, seq, lat, lng in state["heap"]]
+        heapq.heapify(buffer._heap)
+        buffer._seq = int(state["seq"])
+        last = state["last_released"]
+        buffer._last_released = -np.inf if last is None else float(last)
+        seen = state["max_seen"]
+        buffer._max_seen = -np.inf if seen is None else float(seen)
+        buffer.stats = ReorderStats(**state["stats"])
+        return buffer
+
+
+def monotonize_stream(lats, lngs, ts, capacity: int = 16,
+                      policy: str = "reorder"
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                 ReorderStats]:
+    """Repair a whole ping stream through a :class:`ReorderBuffer`.
+
+    Convenience wrapper for offline callers holding raw arrays: the
+    returned arrays have strictly increasing timestamps, and the stats
+    say what it cost.  Never raises on ordering hostility (shape
+    mismatches are still a caller bug and do raise).
+    """
+    lats = np.asarray(lats, dtype=np.float64)
+    lngs = np.asarray(lngs, dtype=np.float64)
+    ts = np.asarray(ts, dtype=np.float64)
+    if not (lats.shape == lngs.shape == ts.shape) or lats.ndim != 1:
+        raise InvalidTrajectoryError(
+            "lats, lngs, ts must be 1-D arrays of equal length")
+    buffer = ReorderBuffer(capacity=capacity, policy=policy)
+    fixes: list[tuple[float, float, float]] = []
+    for lat, lng, t in zip(lats, lngs, ts):
+        fixes.extend(buffer.push(lat, lng, t))
+    fixes.extend(buffer.flush())
+    if not fixes:
+        empty = np.zeros(0)
+        return empty, empty.copy(), empty.copy(), buffer.stats
+    out_lat, out_lng, out_t = (np.asarray(col, dtype=np.float64)
+                               for col in zip(*fixes))
+    return out_lat, out_lng, out_t, buffer.stats

@@ -1,0 +1,308 @@
+"""Fleet-scale session multiplexing with bounded memory.
+
+A regulator's feed interleaves pings from thousands of trucks; the
+:class:`FleetSessionManager` owns one :class:`~repro.stream.TruckSession`
+per ``(truck_id, day)`` and keeps the resident set bounded: least
+recently active sessions are evicted, and — when a ``checkpoint_dir`` is
+configured — written to disk through :mod:`repro.io`'s atomic writer so
+the next ping for that truck restores them bit-for-bit.  Without a
+checkpoint directory an evicted session is simply dropped (counted), and
+a later ping starts a fresh session: degraded, never wrong about what it
+has seen.
+
+Detection runs on a *tick*: the manager snapshots every live session
+that changed since its last verdict, hands the batch to the detector's
+degradation-aware ``detect_many`` (one fused pass over the whole fleet,
+PR-2 batching), and emits a :class:`~repro.stream.ProvisionalVerdict`
+per session.  ``flush`` finalizes a session (drains its reorder buffer,
+closes the trailing stay-point run) and produces the *final* verdict —
+the one that equals offline ``LEAD.detect`` on the completed trajectory.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from urllib.parse import quote
+
+from ..io import atomic_write_json, load_checked_json
+from ..processing import RawTrajectoryProcessor
+from .session import SessionCounters, TruckSession
+from .verdict import ProvisionalVerdict, confidence_tier
+
+__all__ = ["FleetConfig", "FleetCounters", "FleetSessionManager"]
+
+SessionKey = tuple[str, str]  # (truck_id, day)
+
+
+@dataclass
+class FleetConfig:
+    """Serving knobs of the fleet session manager."""
+
+    #: Resident session bound; LRU sessions beyond it are evicted
+    #: (checkpointed to disk when ``checkpoint_dir`` is set).
+    max_sessions: int = 1024
+    #: Per-session reorder tolerance (see processing.ReorderBuffer).
+    reorder_capacity: int = 16
+    reorder_policy: str = "reorder"
+    #: Directory for evicted-session checkpoints; ``None`` disables
+    #: persistence (evictions then lose state, counted).
+    checkpoint_dir: str | Path | None = None
+    #: Confidence-tier thresholds on the leading candidate probability.
+    high_confidence: float = 0.75
+    medium_confidence: float = 0.4
+
+    def __post_init__(self) -> None:
+        if self.max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        if not 0.0 <= self.medium_confidence <= self.high_confidence <= 1.0:
+            raise ValueError("need 0 <= medium <= high <= 1")
+
+
+@dataclass
+class FleetCounters:
+    """Manager-level counters (session counters aggregate separately)."""
+
+    sessions_opened: int = 0
+    sessions_restored: int = 0
+    sessions_evicted: int = 0
+    sessions_dropped: int = 0     # evicted with no checkpoint dir
+    sessions_flushed: int = 0
+    ticks: int = 0
+    verdicts_emitted: int = 0
+    detect_calls: int = 0         # sessions actually re-detected
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+class FleetSessionManager:
+    """Multiplex thousands of concurrent truck sessions.
+
+    ``detector`` is anything exposing the :meth:`repro.pipeline.LEAD.
+    detect_many` contract (and optionally ``processor`` /
+    ``feature_cache``); pass ``None`` for an ingest-only manager (soak
+    tests, pure extraction services) — ticks then report stay-point
+    progress with ``confidence="none"``.
+    """
+
+    def __init__(self, detector=None, config: FleetConfig | None = None,
+                 processor: RawTrajectoryProcessor | None = None) -> None:
+        self.detector = detector
+        self.config = config or FleetConfig()
+        if processor is None:
+            processor = getattr(detector, "processor", None) \
+                or RawTrajectoryProcessor()
+        self.processor = processor
+        self.counters = FleetCounters()
+        self._sessions: OrderedDict[SessionKey, TruckSession] = OrderedDict()
+        self._known: dict[SessionKey, None] = {}   # insertion-ordered set
+        self._aggregate = SessionCounters()        # of flushed sessions
+        self._tick_index = 0
+        if self.config.checkpoint_dir is not None:
+            Path(self.config.checkpoint_dir).mkdir(parents=True,
+                                                   exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Resident (in-memory) session count."""
+        return len(self._sessions)
+
+    @property
+    def known_sessions(self) -> list[SessionKey]:
+        """Every unflushed session key ever seen (resident or evicted)."""
+        return list(self._known)
+
+    def _checkpoint_path(self, key: SessionKey) -> Path | None:
+        if self.config.checkpoint_dir is None:
+            return None
+        name = quote(f"{key[0]}|{key[1]}", safe="")
+        return Path(self.config.checkpoint_dir) / f"{name}.json"
+
+    def session(self, truck_id: str, day: str = "") -> TruckSession:
+        """The resident session for a truck-day (restored or created)."""
+        return self._session((truck_id, day))
+
+    def _session(self, key: SessionKey) -> TruckSession:
+        session = self._sessions.get(key)
+        if session is not None:
+            self._sessions.move_to_end(key)
+            return session
+        session = self._restore(key)
+        if session is None:
+            session = TruckSession(
+                key[0], key[1], processor=self.processor,
+                reorder_capacity=self.config.reorder_capacity,
+                reorder_policy=self.config.reorder_policy)
+            self.counters.sessions_opened += 1
+        self._sessions[key] = session
+        self._known[key] = None
+        self._evict_over_capacity()
+        return session
+
+    def _restore(self, key: SessionKey) -> TruckSession | None:
+        path = self._checkpoint_path(key)
+        if path is None or not path.exists():
+            return None
+        state = load_checked_json(path)
+        session = TruckSession.from_state(state, processor=self.processor)
+        self.counters.sessions_restored += 1
+        return session
+
+    def _evict_over_capacity(self) -> None:
+        while len(self._sessions) > self.config.max_sessions:
+            key, session = self._sessions.popitem(last=False)
+            path = self._checkpoint_path(key)
+            if path is not None:
+                atomic_write_json(path, session.state())
+            else:
+                # State is gone; a later ping reopens from scratch.
+                self._aggregate.add(session.counters)
+                self._known.pop(key, None)
+                self.counters.sessions_dropped += 1
+            self.counters.sessions_evicted += 1
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def ingest(self, truck_id: str, lat: float, lng: float, t: float,
+               day: str = "") -> int:
+        """Route one raw ping to its session; returns stay points closed."""
+        return self._session((truck_id, day)).ingest(lat, lng, t)
+
+    # ------------------------------------------------------------------
+    # Detection ticks
+    # ------------------------------------------------------------------
+    def tick(self) -> list[ProvisionalVerdict]:
+        """Provisional verdicts for every *resident* session.
+
+        Sessions untouched since their last verdict are served from
+        that verdict (no re-detection); everything else goes through
+        one batched, degradation-aware detector pass.
+        """
+        self._tick_index += 1
+        self.counters.ticks += 1
+        verdicts: list[ProvisionalVerdict] = []
+        pending: list[TruckSession] = []
+        for session in self._sessions.values():
+            if (session.last_verdict is not None
+                    and session.last_verdict_version == session.version):
+                verdicts.append(session.last_verdict)
+            else:
+                pending.append(session)
+        verdicts.extend(self._detect(pending, final=False))
+        self.counters.verdicts_emitted += len(verdicts)
+        return verdicts
+
+    def _detect(self, sessions: list[TruckSession],
+                final: bool) -> list[ProvisionalVerdict]:
+        """One batched detector pass over ``sessions`` (in order)."""
+        snapshots, notes, index = [], [], []
+        for i, session in enumerate(sessions):
+            snapshot = session.snapshot()
+            if snapshot is not None and self.detector is not None:
+                snapshots.append(snapshot)
+                notes.append(session.sanitize_notes())
+                index.append(i)
+        results = (self.detector.detect_many(snapshots, notes)
+                   if snapshots else [])
+        self.counters.detect_calls += len(snapshots)
+        verdicts: list[ProvisionalVerdict] = []
+        by_index = dict(zip(index, results))
+        for i, session in enumerate(sessions):
+            result = by_index.get(i)
+            if result is None:
+                verdict = ProvisionalVerdict(
+                    truck_id=session.truck_id, day=session.day,
+                    pair=None, probability=None,
+                    confidence=confidence_tier(None),
+                    final=final,
+                    num_stay_points=session.num_closed_stay_points,
+                    num_candidates=0, tick=self._tick_index)
+            else:
+                snapshot = session.snapshot()
+                probability = float(result.distribution[
+                    snapshot.candidate_index(result.pair)])
+                verdict = ProvisionalVerdict(
+                    truck_id=session.truck_id, day=session.day,
+                    pair=result.pair, probability=probability,
+                    confidence=confidence_tier(
+                        probability, self.config.high_confidence,
+                        self.config.medium_confidence),
+                    final=final,
+                    num_stay_points=snapshot.num_stay_points,
+                    num_candidates=snapshot.num_candidates,
+                    tick=self._tick_index,
+                    provenance=result.provenance,
+                    distribution=result.distribution)
+            session.last_verdict = verdict
+            session.last_verdict_version = session.version
+            verdicts.append(verdict)
+        return verdicts
+
+    # ------------------------------------------------------------------
+    # Flush (end of day)
+    # ------------------------------------------------------------------
+    def flush(self, truck_id: str, day: str = "") -> ProvisionalVerdict:
+        """Finalize one session and return its *final* verdict."""
+        return self._flush_keys([(truck_id, day)])[0]
+
+    def flush_all(self) -> list[ProvisionalVerdict]:
+        """Finalize every known session (resident and evicted alike).
+
+        Processes in chunks bounded by ``max_sessions`` so restoring
+        evicted sessions never blows the memory budget, and each chunk
+        shares one batched detector pass.
+        """
+        keys = list(self._known)
+        chunk_size = max(1, self.config.max_sessions)
+        verdicts: list[ProvisionalVerdict] = []
+        for start in range(0, len(keys), chunk_size):
+            verdicts.extend(self._flush_keys(keys[start:start + chunk_size]))
+        return verdicts
+
+    def _flush_keys(self, keys: list[SessionKey]
+                    ) -> list[ProvisionalVerdict]:
+        sessions = []
+        for key in keys:
+            session = self._session(key)
+            session.finalize()
+            sessions.append(session)
+        verdicts = self._detect(sessions, final=True)
+        for key, session in zip(keys, sessions):
+            self._sessions.pop(key, None)
+            self._known.pop(key, None)
+            path = self._checkpoint_path(key)
+            if path is not None:
+                path.unlink(missing_ok=True)
+            self._aggregate.add(session.counters)
+            self.counters.sessions_flushed += 1
+        self.counters.verdicts_emitted += len(verdicts)
+        return verdicts
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def session_totals(self) -> SessionCounters:
+        """Aggregated session counters (flushed + resident sessions)."""
+        totals = SessionCounters()
+        totals.add(self._aggregate)
+        for session in self._sessions.values():
+            totals.add(session.counters)
+        return totals
+
+    def stats(self) -> dict:
+        """One JSON-safe dict of everything worth printing."""
+        payload = {
+            "resident_sessions": len(self._sessions),
+            "known_sessions": len(self._known),
+            "fleet": self.counters.as_dict(),
+            "sessions": self.session_totals().as_dict(),
+        }
+        cache = getattr(self.detector, "feature_cache", None)
+        if cache is not None:
+            payload["feature_cache"] = cache.stats.as_dict()
+        return payload

@@ -1,0 +1,286 @@
+"""Per-truck streaming session: one ping in, incremental state forward.
+
+A :class:`TruckSession` is the online mirror of
+:meth:`repro.processing.RawTrajectoryProcessor.process` plus the
+``sanitize_trajectory`` front door of :meth:`repro.pipeline.LEAD.detect`,
+decomposed into per-ping steps:
+
+1. **sanitize** — non-finite / out-of-range fixes are dropped and
+   counted (the same predicate, and at flush time the same provenance
+   note, as the offline ``sanitize_trajectory``);
+2. **reorder** — a bounded :class:`~repro.processing.ReorderBuffer`
+   restores timestamp monotonicity; too-late pings are dropped, never
+   raised on;
+3. **noise filter** — the incremental form of
+   :class:`~repro.processing.NoiseFilter`: a fix is kept iff its speed
+   relative to the *last kept* fix is plausible (identical rule,
+   identical state, therefore an identical kept set);
+4. **stay points** — kept fixes feed the resumable
+   :class:`~repro.processing.StayPointScanner`; spans that close are
+   final, the open trailing run waits for more pings or the flush.
+
+Because each step is the same code (or the same state machine) the
+offline path runs, the session's post-flush snapshot is exactly what the
+offline pipeline computes on the completed trajectory — the convergence
+guarantee the provisional detector builds on.
+
+Sessions are checkpointable: :meth:`state` captures the whole thing as
+a JSON-safe dict (floats round-trip exactly through ``repr``), and
+:meth:`from_state` resumes bit-for-bit — the fleet manager uses this to
+evict cold sessions to disk under memory pressure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geo import haversine_m, speed_kmh
+from ..model import StayPoint, Trajectory
+from ..processing import (ProcessedTrajectory, RawTrajectoryProcessor,
+                          ReorderBuffer, extract_move_points)
+
+__all__ = ["SessionCounters", "TruckSession"]
+
+
+@dataclass
+class SessionCounters:
+    """Lightweight per-session ingest counters."""
+
+    pings_ingested: int = 0          # every ping offered to the session
+    pings_dropped_invalid: int = 0   # non-finite / out-of-range fixes
+    pings_dropped_late: int = 0      # behind the reorder horizon
+    pings_reordered: int = 0         # out of order but recovered
+    pings_dropped_noise: int = 0     # implausible speed (noise filter)
+    pings_kept: int = 0              # fixes that reached the scanner
+    staypoints_opened: int = 0       # runs that reached stay-point status
+    staypoints_closed: int = 0       # spans decided and emitted
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SessionCounters":
+        return cls(**{k: int(v) for k, v in payload.items()})
+
+    def add(self, other: "SessionCounters") -> None:
+        for key, value in other.__dict__.items():
+            setattr(self, key, getattr(self, key) + value)
+
+
+def _is_valid_fix(lat: float, lng: float, t: float) -> bool:
+    """The per-ping form of ``validation._usable_mask``."""
+    return bool(np.isfinite(lat) and np.isfinite(lng) and np.isfinite(t)
+                and abs(lat) <= 90.0 and abs(lng) <= 180.0)
+
+
+class TruckSession:
+    """Incremental processing state of one truck-day."""
+
+    def __init__(self, truck_id: str, day: str = "",
+                 processor: RawTrajectoryProcessor | None = None,
+                 reorder_capacity: int = 16,
+                 reorder_policy: str = "reorder") -> None:
+        self.truck_id = truck_id
+        self.day = day
+        self.processor = processor or RawTrajectoryProcessor()
+        self.counters = SessionCounters()
+        self._reorder = ReorderBuffer(reorder_capacity, reorder_policy)
+        self._scanner = self.processor.extractor.scanner()
+        self._spans: list[tuple[int, int]] = []
+        self._last_kept: tuple[float, float, float] | None = None
+        self._open_qualified = False
+        self._finalized = False
+        #: Monotone revision counter: bumped whenever the cleaned
+        #: trajectory or the span set changes; lets the fleet manager
+        #: (and the snapshot memo) skip untouched sessions on a tick.
+        self.version = 0
+        self._snapshot_memo: tuple[int, ProcessedTrajectory | None] | None \
+            = None
+        #: Most recent verdict the fleet manager emitted and the session
+        #: revision it was computed at (bookkeeping only; the session
+        #: itself never reads them — the manager uses the pair to skip
+        #: re-detection of untouched sessions on a tick).
+        self.last_verdict = None
+        self.last_verdict_version = -1
+
+    # ------------------------------------------------------------------
+    @property
+    def finalized(self) -> bool:
+        return self._finalized
+
+    @property
+    def num_cleaned_points(self) -> int:
+        """Fixes kept so far (the cleaned trajectory length)."""
+        return len(self._scanner)
+
+    @property
+    def num_closed_stay_points(self) -> int:
+        return len(self._spans)
+
+    # ------------------------------------------------------------------
+    def ingest(self, lat: float, lng: float, t: float) -> int:
+        """Offer one raw ping; returns how many stay points closed.
+
+        Never raises on hostile input: invalid fixes and too-late pings
+        are dropped and counted.  Raises ``ValueError`` only on API
+        misuse (ingesting into a finalized session).
+        """
+        if self._finalized:
+            raise ValueError(
+                f"session {self.truck_id}/{self.day} is finalized")
+        self.counters.pings_ingested += 1
+        lat, lng, t = float(lat), float(lng), float(t)
+        if not _is_valid_fix(lat, lng, t):
+            self.counters.pings_dropped_invalid += 1
+            return 0
+        stats = self._reorder.stats
+        dropped, reordered = stats.dropped, stats.reordered
+        released = self._reorder.push(lat, lng, t)
+        self.counters.pings_dropped_late += stats.dropped - dropped
+        self.counters.pings_reordered += stats.reordered - reordered
+        closed = 0
+        for fix in released:
+            closed += self._accept(*fix)
+        return closed
+
+    def _accept(self, lat: float, lng: float, t: float) -> int:
+        """One sanitized, in-order fix: noise filter then scanner."""
+        kept = self._last_kept
+        if kept is not None:
+            distance = haversine_m(kept[0], kept[1], lat, lng)
+            if (speed_kmh(distance, t - kept[2])
+                    > self.processor.noise_filter.max_speed_kmh):
+                self.counters.pings_dropped_noise += 1
+                return 0
+        self._last_kept = (lat, lng, t)
+        self.counters.pings_kept += 1
+        spans = self._scanner.feed(lat, lng, t)
+        self._record_spans(spans)
+        self.version += 1
+        return len(spans)
+
+    def _record_spans(self, spans: list[tuple[int, int]]) -> None:
+        if spans:
+            # The first closed span is the tracked open run when that
+            # run had already qualified; any further spans in the same
+            # burst opened and closed within it.
+            newly_opened = len(spans) - (1 if self._open_qualified else 0)
+            self.counters.staypoints_opened += max(0, newly_opened)
+            self.counters.staypoints_closed += len(spans)
+            self._spans.extend(spans)
+            self._open_qualified = False
+        if not self._open_qualified and self._scanner.open_run_qualifies():
+            self._open_qualified = True
+            self.counters.staypoints_opened += 1
+
+    def finalize(self) -> int:
+        """End of day: drain the reorder buffer, close the open run.
+
+        Idempotent.  Returns how many stay points the flush closed.
+        """
+        if self._finalized:
+            return 0
+        closed = 0
+        for fix in self._reorder.flush():
+            closed += self._accept(*fix)
+        spans = self._scanner.finish()
+        self._record_spans(spans)
+        closed += len(spans)
+        self._finalized = True
+        self.version += 1
+        return closed
+
+    # ------------------------------------------------------------------
+    def sanitize_notes(self) -> list[str]:
+        """Provenance notes matching the offline ``sanitize_trajectory``."""
+        dropped = self.counters.pings_dropped_invalid
+        if dropped:
+            return [f"dropped {dropped} non-finite/out-of-range fixes"]
+        return []
+
+    def cleaned_trajectory(self) -> Trajectory:
+        """The cleaned trajectory accumulated so far (a copy)."""
+        return Trajectory(np.asarray(self._scanner.lats, dtype=np.float64),
+                          np.asarray(self._scanner.lngs, dtype=np.float64),
+                          np.asarray(self._scanner.ts, dtype=np.float64),
+                          truck_id=self.truck_id, day=self.day)
+
+    def snapshot(self) -> ProcessedTrajectory | None:
+        """Processed view over the stay points that have *closed*.
+
+        Returns ``None`` while no candidate exists — fewer than the
+        processor's ``min_stay_points`` closed stay points, or more
+        than the candidate generator's cap (the cases where the offline
+        path abstains too).  Memoized per session revision, so repeated
+        ticks without new pings reuse one object (and with it, the
+        slice-fingerprint memo of the feature cache).
+        """
+        memo = self._snapshot_memo
+        if memo is not None and memo[0] == self.version:
+            return memo[1]
+        snapshot = self._build_snapshot()
+        self._snapshot_memo = (self.version, snapshot)
+        return snapshot
+
+    def _build_snapshot(self) -> ProcessedTrajectory | None:
+        if len(self._spans) < self.processor.min_stay_points:
+            return None
+        trajectory = self.cleaned_trajectory()
+        stay_points = [StayPoint(trajectory, start, end, ordinal=k + 1)
+                       for k, (start, end) in enumerate(self._spans)]
+        move_points = extract_move_points(trajectory, stay_points)
+        try:
+            candidates = self.processor.generator.generate(stay_points,
+                                                           move_points)
+        except ValueError:
+            return None  # over the stay-point cap; offline abstains too
+        return ProcessedTrajectory(
+            raw=trajectory, cleaned=trajectory,
+            stay_points=tuple(stay_points),
+            move_points=tuple(move_points),
+            candidates=tuple(candidates),
+            label_pair=None)
+
+    # ------------------------------------------------------------------
+    def state(self) -> dict:
+        """Checkpointable state (JSON-safe; exact resume)."""
+        return {
+            "schema": 1,
+            "truck_id": self.truck_id,
+            "day": self.day,
+            "scanner": self._scanner.state(),
+            "reorder": self._reorder.state(),
+            "spans": [list(span) for span in self._spans],
+            "last_kept": (None if self._last_kept is None
+                          else list(self._last_kept)),
+            "open_qualified": self._open_qualified,
+            "finalized": self._finalized,
+            "version": self.version,
+            "counters": self.counters.as_dict(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict,
+                   processor: RawTrajectoryProcessor | None = None
+                   ) -> "TruckSession":
+        """Resume a session from :meth:`state` output.
+
+        The processor (thresholds) is configuration, not state — the
+        caller passes the same one it always uses.
+        """
+        from ..processing import StayPointScanner
+        session = cls(str(state["truck_id"]), str(state["day"]),
+                      processor=processor)
+        session._scanner = StayPointScanner.from_state(state["scanner"])
+        session._reorder = ReorderBuffer.from_state(state["reorder"])
+        session._spans = [(int(a), int(b)) for a, b in state["spans"]]
+        kept = state["last_kept"]
+        session._last_kept = None if kept is None else (
+            float(kept[0]), float(kept[1]), float(kept[2]))
+        session._open_qualified = bool(state["open_qualified"])
+        session._finalized = bool(state["finalized"])
+        session.version = int(state["version"])
+        session.counters = SessionCounters.from_dict(state["counters"])
+        return session

@@ -22,6 +22,15 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["tables", "--scale", "galactic"])
 
+    def test_stream_args(self):
+        args = build_parser().parse_args(
+            ["stream", "--data", "x.json.gz", "--model", "m/",
+             "--tick-s", "600", "--max-sessions", "32", "--scramble", "4"])
+        assert args.tick_s == 600.0
+        assert args.max_sessions == 32
+        assert args.scramble == 4
+        assert args.checkpoint_dir is None
+
 
 class TestGenerate:
     def test_generate_writes_dataset(self, tmp_path, capsys):

@@ -11,7 +11,7 @@ from repro.data import (DatasetConfig, SimulatorConfig, generate_dataset)
 from repro.model import Trajectory
 from repro.processing import (CandidateGenerator, NoiseFilter,
                               RawTrajectoryProcessor, StayPointExtractor,
-                              extract_move_points)
+                              StayPointScanner, extract_move_points)
 
 METERS_PER_DEG = 111_000.0
 
@@ -166,6 +166,83 @@ class TestStayPointExtractor:
         assert all(sp.duration_s >= 900.0 for sp in sps)
         # Ordinals are 1..n.
         assert [sp.ordinal for sp in sps] == list(range(1, len(sps) + 1))
+
+
+class TestStayPointScanner:
+    """The offline extractor is a replay of the online scanner."""
+
+    def _replay_spans(self, extractor, trajectory, checkpoint_every=None):
+        """Feed point-by-point; optionally round-trip state as it goes."""
+        scanner = extractor.scanner()
+        spans = []
+        for k, (lat, lng, t) in enumerate(zip(trajectory.lats,
+                                              trajectory.lngs,
+                                              trajectory.ts)):
+            if checkpoint_every and k % checkpoint_every == 0:
+                state = scanner.state()
+                import json as _json
+                state = _json.loads(_json.dumps(state))
+                scanner = StayPointScanner.from_state(state)
+            spans.extend(scanner.feed(float(lat), float(lng), float(t)))
+        spans.extend(scanner.finish())
+        return spans
+
+    def test_replay_matches_extract_on_synthetic_styles(self):
+        extractor = StayPointExtractor()
+        for num_stays in range(1, 6):
+            tr = trajectory_with_stays(num_stays=num_stays)
+            offline = [(sp.start, sp.end) for sp in extractor.extract(tr)]
+            assert self._replay_spans(extractor, tr) == offline
+
+    def test_replay_matches_extract_on_simulated_fleet(self):
+        dataset = generate_dataset(DatasetConfig(
+            num_trajectories=30, num_trucks=10, seed=11))
+        extractor = StayPointExtractor()
+        noise = NoiseFilter()
+        checked = 0
+        for sample in dataset.samples:
+            cleaned = noise.filter(sample.trajectory)
+            offline = [(sp.start, sp.end)
+                       for sp in extractor.extract(cleaned)]
+            assert self._replay_spans(extractor, cleaned) == offline
+            checked += 1
+        assert checked == 30
+
+    def test_state_roundtrip_mid_stream_is_exact(self):
+        extractor = StayPointExtractor()
+        tr = trajectory_with_stays(num_stays=4)
+        direct = self._replay_spans(extractor, tr)
+        resumed = self._replay_spans(extractor, tr, checkpoint_every=7)
+        assert resumed == direct
+
+    def test_mid_stream_spans_are_final(self):
+        """Spans emitted before the flush never change afterwards."""
+        extractor = StayPointExtractor()
+        tr = trajectory_with_stays(num_stays=3)
+        scanner = extractor.scanner()
+        seen = []
+        for lat, lng, t in zip(tr.lats, tr.lngs, tr.ts):
+            before = list(seen)
+            seen.extend(scanner.feed(float(lat), float(lng), float(t)))
+            assert seen[:len(before)] == before
+        final = seen + scanner.finish()
+        offline = [(sp.start, sp.end) for sp in extractor.extract(tr)]
+        assert final == offline
+
+    def test_feed_requires_increasing_time(self):
+        scanner = StayPointExtractor().scanner()
+        scanner.feed(31.9, 120.8, 0.0)
+        with pytest.raises(ValueError):
+            scanner.feed(31.9, 120.8, 0.0)
+
+    def test_finish_is_idempotent(self):
+        tr = make_trajectory([(31.9, 120.8, 20)])
+        scanner = StayPointExtractor().scanner()
+        for lat, lng, t in zip(tr.lats, tr.lngs, tr.ts):
+            scanner.feed(float(lat), float(lng), float(t))
+        first = scanner.finish()
+        assert len(first) == 1
+        assert scanner.finish() == []
 
 
 class TestMovePoints:

@@ -1,0 +1,520 @@
+"""Tests for the online detection subsystem (``repro.stream``).
+
+The load-bearing contract: a trajectory streamed ping-by-ping through a
+:class:`TruckSession` / :class:`FleetSessionManager` ends — after the
+flush — at *exactly* the offline ``LEAD.detect`` answer: same candidate
+pair, ``allclose`` distribution at ``rtol=1e-9``, identical provenance
+(tier and notes), across ≥50 simulated truck-days and under hostile
+arrival conditions (bounded out-of-order delivery, non-finite and
+out-of-range fixes, knocked-out detectors).  On top of that sit the
+serving-layer mechanics: tick memoization, suffix-only refeaturization
+via the slice-keyed cache, LRU eviction with bit-exact checkpoint
+restore, and a thousand-session soak.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (DatasetConfig, SyntheticWorld, WorldConfig,
+                        generate_dataset)
+from repro.detection import DetectorTrainingConfig
+from repro.encoding import AutoencoderTrainingConfig
+from repro.model import Trajectory
+from repro.pipeline import LEAD, LEADConfig
+from repro.processing import ReorderBuffer, monotonize_stream
+from repro.stream import (FleetConfig, FleetSessionManager, TruckSession,
+                          confidence_tier, dataset_ping_stream,
+                          scramble_stream)
+
+
+def tiny_lead_config(**overrides) -> LEADConfig:
+    base = dict(
+        encoder_training=AutoencoderTrainingConfig(
+            epochs=1, max_samples_per_epoch=30, batch_size=8, seed=0),
+        detector_training=DetectorTrainingConfig(
+            epochs=1, batch_size=4, seed=0),
+        max_autoencoder_samples=40,
+        seed=0)
+    base.update(overrides)
+    return LEADConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def world_and_data():
+    world = SyntheticWorld(WorldConfig(seed=13))
+    dataset = generate_dataset(
+        DatasetConfig(num_trajectories=50, num_trucks=20, seed=13),
+        world=world)
+    return world, dataset
+
+
+@pytest.fixture(scope="module")
+def fitted(world_and_data):
+    world, dataset = world_and_data
+    lead = LEAD(world.pois, tiny_lead_config())
+    lead.fit(dataset.samples[:8])
+    return lead
+
+
+@pytest.fixture(scope="module")
+def offline(world_and_data, fitted):
+    """Reference offline answers, one per truck-day."""
+    _, dataset = world_and_data
+    results = {}
+    for sample in dataset.samples:
+        trajectory = sample.trajectory
+        key = (str(trajectory.truck_id), str(trajectory.day))
+        assert key not in results, "truck-day keys must be unique"
+        results[key] = fitted.detect(trajectory)
+    return results
+
+
+def assert_verdict_matches(verdict, result):
+    """Streamed final verdict == offline DetectionResult, bit for bit."""
+    if result is None:
+        assert verdict.pair is None
+        assert verdict.confidence == "none"
+        return
+    assert verdict.final
+    assert verdict.pair == result.pair
+    assert np.allclose(verdict.distribution, result.distribution,
+                       rtol=1e-9, atol=0.0)
+    assert verdict.provenance.tier == result.provenance.tier
+    assert verdict.provenance.notes == result.provenance.notes
+    assert verdict.provenance.sanitized == result.provenance.sanitized
+    expected = float(result.distribution[
+        result.processed.candidate_index(result.pair)])
+    assert verdict.probability == pytest.approx(expected, rel=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# 1. Convergence: streamed final == offline detect (≥50 truck-days)
+# ---------------------------------------------------------------------------
+class TestConvergence:
+    def _run_fleet(self, fitted, pings, **config):
+        manager = FleetSessionManager(fitted, FleetConfig(**config))
+        for ping in pings:
+            manager.ingest(ping.truck_id, ping.lat, ping.lng, ping.t,
+                           day=ping.day)
+        return {(v.truck_id, v.day): v for v in manager.flush_all()}
+
+    def test_in_order_replay_matches_offline(self, world_and_data, fitted,
+                                             offline):
+        _, dataset = world_and_data
+        finals = self._run_fleet(
+            fitted, dataset_ping_stream(dataset.samples))
+        assert len(finals) == 50
+        for key, result in offline.items():
+            assert_verdict_matches(finals[key], result)
+        # The fixture set must actually exercise detection.
+        assert sum(r is not None for r in offline.values()) >= 25
+
+    def test_out_of_order_replay_matches_offline(self, world_and_data,
+                                                 fitted, offline):
+        """Bounded scrambling is absorbed by the reorder buffer."""
+        _, dataset = world_and_data
+        pings = scramble_stream(dataset_ping_stream(dataset.samples),
+                                window=6, seed=3)
+        finals = self._run_fleet(fitted, pings, reorder_capacity=8)
+        for key, result in offline.items():
+            assert_verdict_matches(finals[key], result)
+
+    def test_ticks_between_pings_do_not_change_the_final(
+            self, world_and_data, fitted, offline):
+        """Interleaved provisional ticks never perturb convergence."""
+        _, dataset = world_and_data
+        samples = dataset.samples[:6]
+        manager = FleetSessionManager(fitted, FleetConfig())
+        pings = dataset_ping_stream(samples)
+        for i, ping in enumerate(pings):
+            manager.ingest(ping.truck_id, ping.lat, ping.lng, ping.t,
+                           day=ping.day)
+            if i % 400 == 0:
+                manager.tick()
+        finals = {(v.truck_id, v.day): v for v in manager.flush_all()}
+        for sample in samples:
+            key = (str(sample.trajectory.truck_id),
+                   str(sample.trajectory.day))
+            assert_verdict_matches(finals[key], offline[key])
+
+    def test_degraded_model_provenance_matches_offline(self, world_and_data,
+                                                       fitted):
+        """A knocked-out detector degrades the stream exactly like
+        the serial path: forward-only tier, same failure notes."""
+        world, dataset = world_and_data
+        crippled = LEAD(world.pois, tiny_lead_config())
+        crippled.featurizer.normalizer = fitted.featurizer.normalizer
+        crippled.autoencoder = fitted.autoencoder
+        crippled.forward_detector = fitted.forward_detector
+        crippled.backward_detector = None
+        crippled._fitted = True
+        samples = dataset.samples[8:16]
+        finals = self._run_fleet(crippled, dataset_ping_stream(samples))
+        answered = 0
+        for sample in samples:
+            trajectory = sample.trajectory
+            key = (str(trajectory.truck_id), str(trajectory.day))
+            result = crippled.detect(trajectory)
+            assert_verdict_matches(finals[key], result)
+            if result is not None:
+                answered += 1
+                assert finals[key].provenance.tier == "forward-only"
+                assert any("tier 'both' failed" in note
+                           for note in finals[key].provenance.notes)
+        assert answered > 0
+
+    def test_hostile_fixes_counted_like_offline_sanitize(self,
+                                                         world_and_data,
+                                                         fitted):
+        """Non-finite / out-of-range pings drop with the offline note."""
+        _, dataset = world_and_data
+        clean = dataset.samples[9].trajectory
+        lats = np.array(clean.lats)
+        lngs = np.array(clean.lngs)
+        ts = np.array(clean.ts)
+        # Corrupt three interior fixes in ways sanitize must drop.
+        lats[5], lngs[17], lats[40] = np.nan, 400.0, 95.0
+        hostile = Trajectory(lats, lngs, ts, truck_id=clean.truck_id,
+                             day=clean.day)
+        result = fitted.detect(hostile)
+        assert result is not None
+        assert result.provenance.sanitized
+        session = TruckSession(str(clean.truck_id), str(clean.day),
+                               processor=fitted.processor)
+        for lat, lng, t in zip(lats, lngs, ts):
+            session.ingest(lat, lng, t)
+        session.finalize()
+        assert session.counters.pings_dropped_invalid == 3
+        assert session.sanitize_notes() == \
+            ["dropped 3 non-finite/out-of-range fixes"]
+        verdicts = fitted.detect_many([session.snapshot()],
+                                      [session.sanitize_notes()])
+        assert verdicts[0].pair == result.pair
+        assert verdicts[0].provenance == result.provenance
+        assert np.allclose(verdicts[0].distribution, result.distribution,
+                           rtol=1e-9, atol=0.0)
+
+    @settings(max_examples=8, deadline=None)
+    @given(window=st.integers(1, 6), seed=st.integers(0, 1000))
+    def test_property_scrambled_stream_converges(self, world_and_data,
+                                                 fitted, offline, window,
+                                                 seed):
+        """Any bounded-window scramble of the feed converges exactly."""
+        _, dataset = world_and_data
+        samples = dataset.samples[:4]
+        pings = scramble_stream(dataset_ping_stream(samples),
+                                window=window, seed=seed)
+        finals = self._run_fleet(fitted, pings, reorder_capacity=8)
+        for sample in samples:
+            key = (str(sample.trajectory.truck_id),
+                   str(sample.trajectory.day))
+            assert_verdict_matches(finals[key], offline[key])
+
+
+# ---------------------------------------------------------------------------
+# 2. Tick mechanics: memoization and suffix-only refeaturization
+# ---------------------------------------------------------------------------
+class TestTicks:
+    def test_unchanged_sessions_skip_redetection(self, world_and_data,
+                                                 fitted):
+        _, dataset = world_and_data
+        manager = FleetSessionManager(fitted, FleetConfig())
+        for ping in dataset_ping_stream(dataset.samples[:3]):
+            manager.ingest(ping.truck_id, ping.lat, ping.lng, ping.t,
+                           day=ping.day)
+        first = manager.tick()
+        calls = manager.counters.detect_calls
+        second = manager.tick()
+        assert manager.counters.detect_calls == calls  # all memoized
+        assert [v.pair for v in second] == [v.pair for v in first]
+
+    def test_growing_session_hits_closed_segment_cache(self, world_and_data,
+                                                       fitted):
+        """Tick N+1 re-featurizes only the newly extended suffix: every
+        segment closed by tick N is served from the slice-keyed cache."""
+        _, dataset = world_and_data
+        cache = fitted.feature_cache
+        assert cache is not None
+        sample = max(dataset.samples,
+                     key=lambda s: len(s.trajectory))
+        manager = FleetSessionManager(fitted, FleetConfig())
+        trajectory = sample.trajectory
+        n = len(trajectory)
+        cache.clear()
+        hits_before = cache.stats.hits
+        misses = []
+        for i, (lat, lng, t) in enumerate(zip(trajectory.lats,
+                                              trajectory.lngs,
+                                              trajectory.ts)):
+            manager.ingest(str(trajectory.truck_id), lat, lng, t,
+                           day=str(trajectory.day))
+            if i and i % (n // 8) == 0:
+                before = cache.stats.misses
+                manager.tick()
+                misses.append(cache.stats.misses - before)
+        manager.flush_all()
+        assert cache.stats.hits > hits_before
+        # Per-tick misses must not grow with trajectory length: only the
+        # suffix is new, so late ticks miss no more than early ones.
+        busy = [m for m in misses if m]
+        if len(busy) >= 2:
+            assert busy[-1] <= max(busy[0], 4)
+
+    def test_ingest_only_manager_reports_progress(self, world_and_data):
+        _, dataset = world_and_data
+        manager = FleetSessionManager(None)
+        for ping in dataset_ping_stream(dataset.samples[:2]):
+            manager.ingest(ping.truck_id, ping.lat, ping.lng, ping.t,
+                           day=ping.day)
+        verdicts = manager.tick()
+        assert len(verdicts) == 2
+        assert all(v.pair is None and v.confidence == "none"
+                   for v in verdicts)
+        assert all(v.num_stay_points > 0 for v in verdicts)
+
+
+# ---------------------------------------------------------------------------
+# 3. Session checkpointing: bit-exact suspend/resume
+# ---------------------------------------------------------------------------
+class TestSessionCheckpoint:
+    def test_json_roundtrip_mid_stream_is_bit_exact(self, world_and_data,
+                                                    fitted):
+        _, dataset = world_and_data
+        trajectory = dataset.samples[10].trajectory
+        processor = fitted.processor
+        full = TruckSession("a", "d", processor=processor)
+        resumed = TruckSession("a", "d", processor=processor)
+        half = len(trajectory) // 2
+        for i, (lat, lng, t) in enumerate(zip(trajectory.lats,
+                                              trajectory.lngs,
+                                              trajectory.ts)):
+            full.ingest(lat, lng, t)
+            if i < half:
+                resumed.ingest(lat, lng, t)
+        # Suspend at the halfway mark through JSON (as the fleet
+        # manager's checkpoint files do), then catch up.
+        state = json.loads(json.dumps(resumed.state()))
+        resumed = TruckSession.from_state(state, processor=processor)
+        for lat, lng, t in zip(trajectory.lats[half:],
+                               trajectory.lngs[half:],
+                               trajectory.ts[half:]):
+            resumed.ingest(lat, lng, t)
+        full.finalize()
+        resumed.finalize()
+        assert resumed.counters.as_dict() == full.counters.as_dict()
+        a, b = full.snapshot(), resumed.snapshot()
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert np.array_equal(a.cleaned.lats, b.cleaned.lats)
+            assert np.array_equal(a.cleaned.lngs, b.cleaned.lngs)
+            assert np.array_equal(a.cleaned.ts, b.cleaned.ts)
+            assert [(sp.start, sp.end) for sp in a.stay_points] == \
+                   [(sp.start, sp.end) for sp in b.stay_points]
+
+    def test_finalized_session_rejects_pings(self):
+        session = TruckSession("t", "d")
+        session.ingest(31.9, 120.8, 0.0)
+        session.finalize()
+        with pytest.raises(ValueError):
+            session.ingest(31.9, 120.8, 60.0)
+        assert session.finalize() == 0  # idempotent
+
+    def test_session_never_raises_on_hostile_pings(self):
+        session = TruckSession("t", "d")
+        session.ingest(np.nan, 120.8, 0.0)
+        session.ingest(31.9, np.inf, 1.0)
+        session.ingest(999.0, 120.8, 2.0)
+        session.ingest(31.9, 120.8, 10.0)
+        session.ingest(31.9, 120.8, 5.0)   # within reorder window
+        session.ingest(31.9, 120.8, 10.0)  # duplicate timestamp
+        session.finalize()
+        assert session.counters.pings_dropped_invalid == 3
+        assert session.counters.pings_kept == 2
+
+
+# ---------------------------------------------------------------------------
+# 4. Fleet manager: LRU eviction, checkpoint spill, 1000-session soak
+# ---------------------------------------------------------------------------
+class TestFleetSoak:
+    def test_thousand_sessions_bounded_memory(self, tmp_path):
+        manager = FleetSessionManager(None, FleetConfig(
+            max_sessions=64, checkpoint_dir=tmp_path / "ckpt"))
+        trucks = [f"truck-{i:04d}" for i in range(1000)]
+        # Two passes: the second pass restores evicted sessions from
+        # their checkpoints (memory stays bounded throughout).
+        for t0 in (0.0, 3000.0):
+            for k, truck in enumerate(trucks):
+                for j in range(3):
+                    manager.ingest(truck, 31.9 + (k % 7) * 1e-4, 120.8,
+                                   t0 + j * 60.0, day="2026-08-06")
+                assert len(manager) <= 64
+        assert manager.counters.sessions_opened == 1000
+        assert manager.counters.sessions_evicted > 900
+        assert manager.counters.sessions_restored >= 900
+        assert manager.counters.sessions_dropped == 0
+        finals = manager.flush_all()
+        assert len(finals) == 1000
+        assert {(v.truck_id, v.day) for v in finals} == \
+               {(t, "2026-08-06") for t in trucks}
+        totals = manager.session_totals()
+        assert totals.pings_ingested == 1000 * 6
+        assert len(manager) == 0
+        assert manager.known_sessions == []
+        # Flush removed every checkpoint file.
+        assert list((tmp_path / "ckpt").glob("*.json")) == []
+
+    def test_eviction_without_checkpoint_dir_drops_state(self):
+        manager = FleetSessionManager(None, FleetConfig(max_sessions=2))
+        for truck in ("a", "b", "c"):
+            manager.ingest(truck, 31.9, 120.8, 0.0)
+        assert len(manager) == 2
+        assert manager.counters.sessions_dropped == 1
+        # The dropped truck re-opens from scratch on its next ping.
+        manager.ingest("a", 31.9, 120.8, 60.0)
+        assert manager.counters.sessions_opened == 4
+
+    def test_evict_restore_matches_uninterrupted_session(self, tmp_path,
+                                                         world_and_data,
+                                                         fitted, offline):
+        """An eviction/restore cycle mid-day is invisible to the final
+        verdict."""
+        _, dataset = world_and_data
+        samples = dataset.samples[:4]
+        manager = FleetSessionManager(fitted, FleetConfig(
+            max_sessions=2, checkpoint_dir=tmp_path / "spill"))
+        for ping in dataset_ping_stream(samples):
+            manager.ingest(ping.truck_id, ping.lat, ping.lng, ping.t,
+                           day=ping.day)
+        assert manager.counters.sessions_evicted > 0
+        assert manager.counters.sessions_restored > 0
+        finals = {(v.truck_id, v.day): v for v in manager.flush_all()}
+        for sample in samples:
+            key = (str(sample.trajectory.truck_id),
+                   str(sample.trajectory.day))
+            assert_verdict_matches(finals[key], offline[key])
+
+    def test_stats_shape(self, world_and_data, fitted):
+        _, dataset = world_and_data
+        manager = FleetSessionManager(fitted, FleetConfig())
+        for ping in dataset_ping_stream(dataset.samples[:2]):
+            manager.ingest(ping.truck_id, ping.lat, ping.lng, ping.t,
+                           day=ping.day)
+        manager.tick()
+        stats = manager.stats()
+        assert json.dumps(stats)  # JSON-safe
+        assert stats["resident_sessions"] == 2
+        assert stats["fleet"]["ticks"] == 1
+        assert "feature_cache" in stats
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FleetConfig(max_sessions=0)
+        with pytest.raises(ValueError):
+            FleetConfig(high_confidence=0.3, medium_confidence=0.5)
+
+
+# ---------------------------------------------------------------------------
+# 5. Reorder buffer / monotonicity sanitization
+# ---------------------------------------------------------------------------
+class TestReorderBuffer:
+    def test_in_order_stream_passes_through(self):
+        buffer = ReorderBuffer(capacity=4)
+        out = []
+        for t in range(10):
+            out.extend(buffer.push(1.0, 2.0, float(t)))
+        out.extend(buffer.flush())
+        assert [fix[2] for fix in out] == [float(t) for t in range(10)]
+        assert buffer.stats.reordered == 0
+        assert buffer.stats.dropped == 0
+
+    def test_bounded_scramble_recovered_exactly(self):
+        import random
+        rng = random.Random(5)
+        ts = list(range(50))
+        scrambled = []
+        for start in range(0, 50, 4):
+            block = ts[start:start + 4]
+            rng.shuffle(block)
+            scrambled.extend(block)
+        buffer = ReorderBuffer(capacity=8)
+        out = []
+        for t in scrambled:
+            out.extend(buffer.push(0.0, 0.0, float(t)))
+        out.extend(buffer.flush())
+        assert [fix[2] for fix in out] == [float(t) for t in ts]
+        assert buffer.stats.reordered > 0
+        assert buffer.stats.dropped == 0
+
+    def test_too_late_ping_dropped_and_counted(self):
+        buffer = ReorderBuffer(capacity=2)
+        for t in (10.0, 20.0, 30.0, 40.0):
+            buffer.push(0.0, 0.0, t)
+        assert buffer.push(0.0, 0.0, 5.0) == []  # behind the horizon
+        assert buffer.stats.dropped == 1
+
+    def test_drop_policy_drops_out_of_order(self):
+        buffer = ReorderBuffer(capacity=4, policy="drop")
+        assert buffer.push(0.0, 0.0, 10.0) != []
+        assert buffer.push(0.0, 0.0, 5.0) == []
+        assert buffer.stats.dropped == 1
+        assert buffer.stats.reordered == 0
+
+    def test_state_roundtrip_mid_stream(self):
+        buffer = ReorderBuffer(capacity=4)
+        for t in (3.0, 1.0, 2.0, 7.0):
+            buffer.push(0.0, 0.0, t)
+        state = json.loads(json.dumps(buffer.state()))
+        resumed = ReorderBuffer.from_state(state)
+        assert [f[2] for f in resumed.flush()] == \
+               [f[2] for f in buffer.flush()]
+
+    def test_monotonize_stream_repairs_arrays(self):
+        ts = np.array([0.0, 2.0, 1.0, 3.0, np.nan, 4.0])
+        lats = np.arange(6.0)
+        out_lat, out_lng, out_t, stats = monotonize_stream(
+            lats, np.zeros(6), ts, capacity=4)
+        assert (np.diff(out_t) > 0).all()
+        assert list(out_t) == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert stats.dropped == 1  # the NaN timestamp
+        assert stats.reordered >= 1
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ReorderBuffer(capacity=0)
+        with pytest.raises(ValueError):
+            ReorderBuffer(policy="mystery")
+
+
+# ---------------------------------------------------------------------------
+# 6. Verdict plumbing
+# ---------------------------------------------------------------------------
+class TestVerdicts:
+    def test_confidence_tiers(self):
+        assert confidence_tier(None) == "none"
+        assert confidence_tier(0.9) == "high"
+        assert confidence_tier(0.5) == "medium"
+        assert confidence_tier(0.1) == "low"
+        assert confidence_tier(0.75) == "high"   # inclusive boundary
+        with pytest.raises(ValueError):
+            confidence_tier(0.5, high=0.2, medium=0.6)
+
+    def test_detect_many_validates_note_lengths(self, fitted):
+        with pytest.raises(ValueError):
+            fitted.detect_many([], [["note"]])
+
+    def test_summary_lines(self, world_and_data, fitted):
+        _, dataset = world_and_data
+        manager = FleetSessionManager(fitted, FleetConfig())
+        for ping in dataset_ping_stream(dataset.samples[:1]):
+            manager.ingest(ping.truck_id, ping.lat, ping.lng, ping.t,
+                           day=ping.day)
+        (verdict,) = manager.flush_all()
+        line = verdict.summary()
+        assert verdict.truck_id in line
+        assert "final" in line
