@@ -20,8 +20,10 @@ Quickstart::
 """
 
 from .errors import (ArtifactCorruptedError, CheckpointCorruptedError,
-                     DetectorUnavailableError, InvalidTrajectoryError,
-                     NotFittedError, NumericalInstabilityError, ReproError)
+                     CircuitOpenError, DetectorUnavailableError,
+                     InvalidTrajectoryError, NotFittedError,
+                     NumericalInstabilityError, ReproError,
+                     TaskFailedError)
 from .model import (CandidateTrajectory, GPSPoint, LoadedLabel, MovePoint,
                     StayPoint, TimeInterval, Trajectory)
 from .data import (DatasetConfig, HCTDataset, LabeledSample, POIDatabase,
@@ -49,6 +51,9 @@ from .perf import (LRUCache, SegmentFeatureCache, parallel_map, run_bench,
                    spawn_rng)
 from .stream import (FleetConfig, FleetSessionManager, ProvisionalVerdict,
                      TruckSession)
+from .supervise import (CircuitBreaker, Quarantine, QuarantineEntry,
+                        RetryPolicy)
+from .chaos import ChaosEngine, FaultSpec, InjectedFault
 
 __version__ = "1.0.0"
 
@@ -71,7 +76,7 @@ __all__ = [
     "FitReport", "VARIANT_NAMES", "variant_config",
     "ReproError", "ArtifactCorruptedError", "CheckpointCorruptedError",
     "NotFittedError", "InvalidTrajectoryError", "DetectorUnavailableError",
-    "NumericalInstabilityError",
+    "NumericalInstabilityError", "TaskFailedError", "CircuitOpenError",
     "sanitize_trajectory", "trajectory_from_raw",
     "DetectionRecord", "accuracy", "accuracy_by_bucket",
     "evaluate_detector", "prepare_test_set",
@@ -81,5 +86,7 @@ __all__ = [
     "run_bench",
     "TruckSession", "FleetConfig", "FleetSessionManager",
     "ProvisionalVerdict",
+    "RetryPolicy", "CircuitBreaker", "Quarantine", "QuarantineEntry",
+    "ChaosEngine", "FaultSpec", "InjectedFault",
     "__version__",
 ]

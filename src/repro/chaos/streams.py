@@ -1,0 +1,94 @@
+"""Ping-stream fault injection: hostile traffic, healthy answers.
+
+:func:`chaos_ping_stream` feeds a replay stream through the installed
+:class:`~repro.chaos.core.ChaosEngine`, injecting the hostility real
+GPS uplinks exhibit.  Every injected fault is **additive** — a garbage
+ping, a verbatim retransmission, a stale-clocked retransmission — and
+each is provably neutralized by the ingest path (sanitize, duplicate
+drop, late drop), so a fleet fed the chaotic stream converges to the
+same verdicts as one fed the clean stream.  That invariant is what the
+chaos soak asserts.
+
+Fault kinds at site ``"stream.ping"`` (key = ``"truck|day"``):
+
+* ``corrupt`` — an extra ping with a non-finite or out-of-range fix
+  (the ``aux`` draw picks the variant); dropped by per-ping sanitize.
+* ``duplicate`` — the truck's previous ping re-emitted verbatim (a
+  buffered-upload retry); dropped by the reorder buffer's duplicate
+  guard.
+* ``skew`` — a retransmission of the previous fix stamped *before the
+  truck's first ping* (a receiver whose clock reset); dropped as
+  too-late.  Only injected once the session has released at least one
+  fix (more than ``reorder_capacity`` pings seen), because before any
+  release a prehistoric timestamp would be accepted and poison the
+  cleaned trajectory — chaos must stay recoverable by design.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from ..stream.replay import Ping
+from .core import chaos_point
+
+__all__ = ["chaos_ping_stream"]
+
+#: corrupt-variant table indexed by the aux draw.
+_CORRUPT_VARIANTS = ("nan_lat", "nan_lng", "nan_t", "lat_out_of_range",
+                     "lng_out_of_range")
+
+
+def _corrupt_ping(ping: Ping, aux: float) -> Ping:
+    variant = _CORRUPT_VARIANTS[int(aux * len(_CORRUPT_VARIANTS))
+                                % len(_CORRUPT_VARIANTS)]
+    lat, lng, t = ping.lat, ping.lng, ping.t
+    if variant == "nan_lat":
+        lat = math.nan
+    elif variant == "nan_lng":
+        lng = math.inf
+    elif variant == "nan_t":
+        t = math.nan
+    elif variant == "lat_out_of_range":
+        lat = 91.0 + 10.0 * aux
+    else:
+        lng = -(181.0 + 10.0 * aux)
+    return Ping(ping.truck_id, ping.day, lat, lng, t)
+
+
+def chaos_ping_stream(pings: Iterable[Ping],
+                      reorder_capacity: int = 16) -> list[Ping]:
+    """Inject stream faults after each real ping; order preserved.
+
+    With no engine installed this is the identity (a list copy).  The
+    injected extras depend only on the engine's seed and the input
+    order, so the chaotic stream itself replays deterministically.
+    """
+    out: list[Ping] = []
+    last_real: dict[tuple[str, str], Ping] = {}
+    first_t: dict[tuple[str, str], float] = {}
+    counts: dict[tuple[str, str], int] = {}
+    for ping in pings:
+        session = (ping.truck_id, ping.day)
+        out.append(ping)
+        counts[session] = counts.get(session, 0) + 1
+        first_t.setdefault(session, ping.t)
+        previous = last_real.get(session)
+        last_real[session] = ping
+        fault = chaos_point("stream.ping", key=f"{ping.truck_id}|{ping.day}")
+        if fault is None:
+            continue
+        if fault.kind == "corrupt":
+            out.append(_corrupt_ping(ping, fault.aux))
+        elif fault.kind == "duplicate":
+            if previous is not None:
+                out.append(previous)
+        elif fault.kind == "skew":
+            if previous is not None and counts[session] > reorder_capacity:
+                stale_t = first_t[session] - 1.0 - 100.0 * fault.aux
+                out.append(Ping(previous.truck_id, previous.day,
+                                previous.lat, previous.lng, stale_t))
+        else:
+            raise ValueError(
+                f"unknown stream.ping fault kind {fault.kind!r}")
+    return out

@@ -178,6 +178,41 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+    from .chaos import format_chaos_ledger, run_chaos_soak
+    from .io import atomic_write_json
+    report = run_chaos_soak(
+        seed=args.seed, data_seed=args.data_seed,
+        num_trajectories=args.trajectories, num_trucks=args.trucks,
+        fit_detector=not args.no_detector,
+        max_sessions=args.max_sessions)
+    print(format_chaos_ledger(report))
+    failed = not report["ok"]
+    if args.check_determinism:
+        replay = run_chaos_soak(
+            seed=args.seed, data_seed=args.data_seed,
+            num_trajectories=args.trajectories, num_trucks=args.trucks,
+            fit_detector=not args.no_detector,
+            max_sessions=args.max_sessions)
+        ledger_same = replay["ledger"] == report["ledger"]
+        digest_same = replay["verdict_digest"] == report["verdict_digest"]
+        print(f"determinism: ledger_match={ledger_same} "
+              f"verdict_match={digest_same}")
+        if not (ledger_same and digest_same):
+            print("FAIL: the same seed did not reproduce the same "
+                  "fault ledger / verdicts", file=sys.stderr)
+            failed = True
+    if args.out is not None:
+        atomic_write_json(args.out, report, indent=2)
+        print(f"wrote {args.out}")
+    if failed:
+        print("FAIL: chaos soak did not recover cleanly "
+              "(see ledger above)", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
     from .io import atomic_write_json
@@ -278,6 +313,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=None,
                    help="replay only the first N truck-days")
     p.set_defaults(func=_cmd_stream)
+
+    p = sub.add_parser("chaos",
+                       help="seeded fault-injection soak: corrupted "
+                            "pings, torn writes, worker crashes, one "
+                            "poisoned session — healthy verdicts must "
+                            "match a fault-free run bit for bit")
+    p.add_argument("--seed", type=int, default=7,
+                   help="drives every injected fault; same seed = same "
+                        "ledger, same verdicts")
+    p.add_argument("--data-seed", type=int, default=13,
+                   help="synthetic world/dataset seed (independent of "
+                        "the fault seed)")
+    p.add_argument("--trajectories", type=int, default=50)
+    p.add_argument("--trucks", type=int, default=20)
+    p.add_argument("--max-sessions", type=int, default=12,
+                   help="tight resident bound so spill/restore runs "
+                        "under fire")
+    p.add_argument("--no-detector", action="store_true",
+                   help="skip fitting the tiny detector (ingest-only "
+                        "soak; much faster)")
+    p.add_argument("--check-determinism", action="store_true",
+                   help="run the soak twice and fail unless the fault "
+                        "ledger and verdicts replay identically")
+    p.add_argument("--out", default=None,
+                   help="write the full JSON report (ledger included) "
+                        "here")
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("bench",
                        help="measure encode/detect throughput and write "

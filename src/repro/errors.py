@@ -17,7 +17,9 @@ Hierarchy::
     ├── NotFittedError                (also RuntimeError)
     ├── InvalidTrajectoryError        (also ValueError)
     ├── DetectorUnavailableError      (also ValueError)
-    └── NumericalInstabilityError     (also ArithmeticError)
+    ├── NumericalInstabilityError     (also ArithmeticError)
+    ├── TaskFailedError               (a parallel_map task failed)
+    └── CircuitOpenError              (a circuit breaker rejected a call)
 """
 
 from __future__ import annotations
@@ -32,6 +34,8 @@ __all__ = [
     "InvalidTrajectoryError",
     "DetectorUnavailableError",
     "NumericalInstabilityError",
+    "TaskFailedError",
+    "CircuitOpenError",
 ]
 
 
@@ -75,3 +79,28 @@ class DetectorUnavailableError(ReproError, ValueError):
 
 class NumericalInstabilityError(ReproError, ArithmeticError):
     """Training or inference produced NaN/Inf beyond tolerated limits."""
+
+
+class TaskFailedError(ReproError):
+    """A ``parallel_map`` task failed beyond recovery.
+
+    Raised identically by the serial and the worker-pool execution
+    paths, with the failing item's position attached, so callers can
+    report or skip the exact input that broke regardless of how the map
+    was scheduled.  The original exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, index: int, message: str) -> None:
+        self.index = int(index)
+        super().__init__(f"task {self.index} failed: {message}")
+
+
+class CircuitOpenError(ReproError):
+    """A circuit breaker is open; the protected call was not attempted."""
+
+    def __init__(self, name: str, failures: int) -> None:
+        self.name = name
+        self.failures = failures
+        super().__init__(
+            f"circuit {name!r} is open after {failures} consecutive "
+            "failures; call rejected")

@@ -21,7 +21,8 @@ from pathlib import Path
 
 from ..baselines import SPNNDetector, SPNNTrainingConfig, SPRDetector
 from ..data import HCTDataset, SyntheticWorld, generate_dataset
-from ..errors import ArtifactCorruptedError
+from ..errors import ArtifactCorruptedError, CircuitOpenError
+from ..supervise import CircuitBreaker, RetryPolicy
 from ..eval import DetectionRecord, evaluate_detector, prepare_test_set
 from ..features import ZScoreNormalizer
 from ..nn import TrainingHistory, load_module, save_module
@@ -46,6 +47,16 @@ class Experiment:
         #: Default policy when a cached artifact fails integrity checks:
         #: raise (False) or discard-and-retrain (True).
         self.retrain_if_corrupt = retrain_if_corrupt
+        #: Transient-IO retry for every cached-artifact read (flaky NFS,
+        #: interrupted syscalls); corruption is NOT retried — a bad hash
+        #: is deterministic, so it surfaces immediately.
+        self.io_retry = RetryPolicy(max_attempts=3, backoff_base_s=0.05)
+        #: Trips after repeated *corrupt* cache loads: a cache directory
+        #: that keeps serving garbage stops being consulted, and runs go
+        #: straight to retraining (or a typed CircuitOpenError).
+        self.corruption_breaker = CircuitBreaker("artifact-cache",
+                                                 failure_threshold=3,
+                                                 cooldown=16)
         self.cache = self.config.cache_dir
         self.cache.mkdir(parents=True, exist_ok=True)
         self.world = SyntheticWorld(self.config.dataset.world)
@@ -63,7 +74,8 @@ class Experiment:
             path = self.cache / "dataset.json.gz"
             if path.exists():
                 try:
-                    self._dataset = HCTDataset.load(path)
+                    self._dataset = self.io_retry.call(HCTDataset.load,
+                                                       path)
                 except (OSError, ValueError, KeyError, EOFError) as exc:
                     raise ArtifactCorruptedError(
                         path, f"cached dataset unreadable: {exc}; delete "
@@ -105,16 +117,27 @@ class Experiment:
         model = LEAD(self.world.pois, cfg)
         directory = self.cache / "lead" / name
         if (directory / "state.json").exists():
-            try:
-                model.load(directory)
-            except (ArtifactCorruptedError, FileNotFoundError):
+            if not self.corruption_breaker.allow():
+                # The cache keeps serving corrupt artifacts; stop
+                # consulting it until the breaker cools down.
                 if not retrain_if_corrupt:
-                    raise
+                    raise CircuitOpenError(
+                        self.corruption_breaker.name,
+                        self.corruption_breaker.consecutive_failures)
                 shutil.rmtree(directory, ignore_errors=True)
-                model = LEAD(self.world.pois, cfg)  # discard partial load
             else:
-                self._leads[name] = model
-                return model
+                try:
+                    self.io_retry.call(model.load, directory)
+                except (ArtifactCorruptedError, FileNotFoundError):
+                    self.corruption_breaker.record_failure()
+                    if not retrain_if_corrupt:
+                        raise
+                    shutil.rmtree(directory, ignore_errors=True)
+                    model = LEAD(self.world.pois, cfg)  # discard partial
+                else:
+                    self.corruption_breaker.record_success()
+                    self._leads[name] = model
+                    return model
         checkpoint_dir = self.cache / "checkpoints" / name
         train, _, _ = self.splits
         if name == "LEAD-NoGro":
@@ -183,12 +206,15 @@ class Experiment:
             SPNNTrainingConfig(epochs=self.config.sp_nn_epochs,
                                seed=self.config.seed))
         path = self.cache / "baselines" / f"sp_{cell}.npz"
-        if path.exists():
+        if path.exists() and self.corruption_breaker.allow():
             try:
-                load_module(detector.classifier, path)
-                return detector
+                self.io_retry.call(load_module, detector.classifier, path)
             except ArtifactCorruptedError:
+                self.corruption_breaker.record_failure()
                 path.unlink(missing_ok=True)  # retrain below
+            else:
+                self.corruption_breaker.record_success()
+                return detector
         history = detector.fit(self.baseline_training_pairs(),
                                verbose=verbose)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -215,7 +241,7 @@ class Experiment:
         path = self.cache / "records" / f"{method}.json"
         if path.exists():
             try:
-                return load_records(path)
+                return self.io_retry.call(load_records, path)
             except ArtifactCorruptedError:
                 # Records are cheap to regenerate relative to training;
                 # discard the damaged cache entry and re-evaluate.

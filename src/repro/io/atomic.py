@@ -15,12 +15,18 @@ from pathlib import Path
 
 import numpy as np
 
+from ..chaos.core import InjectedFault, chaos_point
+
 __all__ = ["atomic_write_bytes", "atomic_write_text", "atomic_write_json",
            "atomic_savez", "replace_file"]
 
 
 def replace_file(tmp: Path, target: Path) -> Path:
     """Atomically move ``tmp`` over ``target`` (same-directory rename)."""
+    fault = chaos_point("io.rename", key=target.name)
+    if fault is not None:
+        Path(tmp).unlink(missing_ok=True)
+        raise InjectedFault(f"chaos: injected rename failure for {target}")
     os.replace(tmp, target)
     _fsync_directory(target.parent)
     return target
@@ -41,9 +47,27 @@ def _fsync_directory(directory: Path) -> None:
 
 
 def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
-    """Write ``data`` to ``path`` atomically; returns the final path."""
+    """Write ``data`` to ``path`` atomically; returns the final path.
+
+    Under an installed :class:`~repro.chaos.core.ChaosEngine`, the
+    ``io.write`` fault site fires here: ``fail`` raises before any byte
+    lands, and ``torn`` simulates a crash of a *non-atomic* writer —
+    partial bytes are deliberately written straight to ``path``
+    (bypassing the tmp+rename discipline) before raising, so crash-
+    consistency tests can prove the checked loaders reject every torn
+    prefix instead of returning garbage.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    fault = chaos_point("io.write", key=path.name)
+    if fault is not None:
+        if fault.kind == "torn":
+            cut = fault.cut(len(data))
+            with open(path, "wb") as handle:
+                handle.write(data[:cut])
+            raise InjectedFault(
+                f"chaos: torn write at byte {cut}/{len(data)} of {path}")
+        raise InjectedFault(f"chaos: injected write failure for {path}")
     fd, tmp_name = tempfile.mkstemp(dir=path.parent,
                                     prefix=f".{path.name}.", suffix=".tmp")
     tmp = Path(tmp_name)

@@ -25,6 +25,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..chaos.core import InjectedFault, chaos_point
 from ..errors import ArtifactCorruptedError
 from .atomic import atomic_write_json
 from .checksum import sha256_file
@@ -124,6 +125,9 @@ def verify_manifest(directory: str | Path, *,
 def load_checked_json(path: str | Path) -> object:
     """Parse a JSON file, mapping decode failures to a typed error."""
     path = Path(path)
+    fault = chaos_point("io.read", key=path.name)
+    if fault is not None:
+        raise InjectedFault(f"chaos: injected read failure for {path}")
     try:
         return json.loads(path.read_text())
     except json.JSONDecodeError as exc:
@@ -135,6 +139,9 @@ def load_checked_json(path: str | Path) -> object:
 def load_checked_npz(path: str | Path) -> dict[str, np.ndarray]:
     """Load an ``.npz`` archive, mapping corruption to a typed error."""
     path = Path(path)
+    fault = chaos_point("io.read", key=path.name)
+    if fault is not None:
+        raise InjectedFault(f"chaos: injected read failure for {path}")
     try:
         with np.load(path, allow_pickle=False) as archive:
             return {name: archive[name] for name in archive.files}

@@ -19,6 +19,14 @@ metadata never points at missing arrays):
 
 A resumed ``fit()`` replays the remaining epochs bit-for-bit identically
 to an uninterrupted run (verified in ``tests/test_resilience.py``).
+
+Supervision (PR 6) is opt-in: pass a
+:class:`~repro.supervise.RetryPolicy` to retry transient IO failures on
+every save/load syscall, and a :class:`~repro.supervise.CircuitBreaker`
+to stop re-reading a slot that keeps parsing as corrupt — a disk that
+serves different garbage on every read should not get unlimited
+attempts.  Both default to ``None`` so crash-consistency tests observe
+raw failures.
 """
 
 from __future__ import annotations
@@ -29,7 +37,8 @@ from pathlib import Path
 
 import numpy as np
 
-from ..errors import ArtifactCorruptedError, CheckpointCorruptedError
+from ..errors import (ArtifactCorruptedError, CheckpointCorruptedError,
+                      CircuitOpenError)
 from ..io import (atomic_savez, atomic_write_json, load_checked_json,
                   load_checked_npz, sha256_file)
 from .module import Module
@@ -68,10 +77,23 @@ class CheckpointManager:
     """
 
     def __init__(self, directory: str | Path, name: str = "checkpoint",
-                 strict: bool = True) -> None:
+                 strict: bool = True, retry=None,
+                 corruption_breaker=None) -> None:
         self.directory = Path(directory)
         self.name = name
         self.strict = strict
+        #: Optional RetryPolicy applied around each save/load IO call.
+        self.retry = retry
+        #: Optional CircuitBreaker tripped by corrupt loads; while open,
+        #: ``load`` refuses to touch the slot (lenient → None + warning,
+        #: strict → CircuitOpenError).
+        self.corruption_breaker = corruption_breaker
+
+    def _io(self, fn, *args, **kwargs):
+        """One save/load syscall, retried when a policy is configured."""
+        if self.retry is None:
+            return fn(*args, **kwargs)
+        return self.retry.call(fn, *args, **kwargs)
 
     # ------------------------------------------------------------------
     @property
@@ -112,7 +134,7 @@ class CheckpointManager:
             for slot, values in state.get("arrays", {}).items():
                 for i, value in enumerate(values):
                     arrays[f"optim/{slot}/{i:04d}"] = value
-        atomic_savez(self.arrays_path, **arrays)
+        self._io(atomic_savez, self.arrays_path, **arrays)
         meta = {
             "schema": _SCHEMA,
             "name": self.name,
@@ -125,7 +147,7 @@ class CheckpointManager:
             "extra": extra or {},
             "arrays_sha256": sha256_file(self.arrays_path),
         }
-        atomic_write_json(self.meta_path, meta)
+        self._io(atomic_write_json, self.meta_path, meta)
 
     # ------------------------------------------------------------------
     # Load / restore
@@ -134,9 +156,21 @@ class CheckpointManager:
         """Parse the slot; ``None`` when empty (or corrupt + lenient)."""
         if not self.exists():
             return None
+        breaker = self.corruption_breaker
+        if breaker is not None and not breaker.allow():
+            if self.strict:
+                raise CircuitOpenError(breaker.name,
+                                       breaker.consecutive_failures)
+            warnings.warn(
+                f"checkpoint slot {self.meta_path} kept loading as "
+                "corrupt; breaker is open, restarting from scratch",
+                stacklevel=2)
+            return None
         try:
-            return self._load_checked()
+            state = self._load_checked()
         except CheckpointCorruptedError:
+            if breaker is not None:
+                breaker.record_failure()
             if self.strict:
                 raise
             warnings.warn(
@@ -144,10 +178,13 @@ class CheckpointManager:
                 "training restarts from scratch", stacklevel=2)
             self.clear()
             return None
+        if breaker is not None:
+            breaker.record_success()
+        return state
 
     def _load_checked(self) -> CheckpointState:
         try:
-            meta = load_checked_json(self.meta_path)
+            meta = self._io(load_checked_json, self.meta_path)
         except CheckpointCorruptedError:
             raise
         except ArtifactCorruptedError as exc:
@@ -170,7 +207,7 @@ class CheckpointManager:
                 f"checksum mismatch: metadata says "
                 f"{meta.get('arrays_sha256')}, file hashes to {digest}")
         try:
-            arrays = load_checked_npz(self.arrays_path)
+            arrays = self._io(load_checked_npz, self.arrays_path)
         except Exception as exc:  # damaged despite matching digest
             raise CheckpointCorruptedError(self.arrays_path,
                                            str(exc)) from exc

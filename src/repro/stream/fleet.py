@@ -1,4 +1,4 @@
-"""Fleet-scale session multiplexing with bounded memory.
+"""Fleet-scale session multiplexing with bounded memory and fault isolation.
 
 A regulator's feed interleaves pings from thousands of trucks; the
 :class:`FleetSessionManager` owns one :class:`~repro.stream.TruckSession`
@@ -17,23 +17,48 @@ PR-2 batching), and emits a :class:`~repro.stream.ProvisionalVerdict`
 per session.  ``flush`` finalizes a session (drains its reorder buffer,
 closes the trailing stay-point run) and produces the *final* verdict —
 the one that equals offline ``LEAD.detect`` on the completed trajectory.
+
+**Supervision** (PR 6): the failure domain is one session, never the
+fleet.  A session whose snapshot or detection keeps failing is retried
+(:class:`~repro.supervise.RetryPolicy` semantics), then *quarantined* —
+captured in a :class:`~repro.supervise.Quarantine` dead-letter store
+with the triggering exception and its full replayable ``state()`` —
+while every other truck's verdict proceeds.  A failing batched detector
+pass falls back to per-session isolation; a *persistently* failing
+detector trips a :class:`~repro.supervise.CircuitBreaker` so ticks stop
+hammering it until a cooldown passes (final flushes always try — the
+end-of-day verdict is the product).  Spill/restore IO failures degrade
+(keep-resident, fresh-session) behind their own retry policy and
+breaker instead of poisoning ``ingest``.  No exception escapes
+``tick()`` / ``flush_all()`` for input-dependent failures; programming
+errors (``config`` misuse) still raise.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from urllib.parse import quote
 
+from ..chaos.core import InjectedFault, chaos_point
+from ..errors import ArtifactCorruptedError
 from ..io import atomic_write_json, load_checked_json
 from ..processing import RawTrajectoryProcessor
+from ..supervise import CircuitBreaker, Quarantine, RetryPolicy
 from .session import SessionCounters, TruckSession
 from .verdict import ProvisionalVerdict, confidence_tier
 
 __all__ = ["FleetConfig", "FleetCounters", "FleetSessionManager"]
 
 SessionKey = tuple[str, str]  # (truck_id, day)
+
+
+def _default_io_retry() -> RetryPolicy:
+    # Zero base backoff: the ingest path must not sleep; the retry is
+    # for transient syscall failures, not remote services.
+    return RetryPolicy(max_attempts=3, backoff_base_s=0.0, jitter=0.0)
 
 
 @dataclass
@@ -52,12 +77,29 @@ class FleetConfig:
     #: Confidence-tier thresholds on the leading candidate probability.
     high_confidence: float = 0.75
     medium_confidence: float = 0.4
+    #: Directory for the quarantine dead-letter store; ``None`` keeps
+    #: the ledger in memory only.
+    quarantine_dir: str | Path | None = None
+    #: Detection attempts per session before it is quarantined.
+    detect_attempts: int = 2
+    #: Consecutive *batched* detector failures that trip the detector
+    #: breaker, and how many ticks it stays open before a probe.
+    detector_breaker_failures: int = 3
+    detector_breaker_cooldown: int = 2
+    #: Retry policy for session spill/restore IO, and the consecutive
+    #: spill failures that trip the spill breaker (further evictions
+    #: then keep sessions resident without touching disk).
+    io_retry: RetryPolicy = field(default_factory=_default_io_retry)
+    spill_breaker_failures: int = 3
+    spill_breaker_cooldown: int = 16
 
     def __post_init__(self) -> None:
         if self.max_sessions < 1:
             raise ValueError("max_sessions must be >= 1")
         if not 0.0 <= self.medium_confidence <= self.high_confidence <= 1.0:
             raise ValueError("need 0 <= medium <= high <= 1")
+        if self.detect_attempts < 1:
+            raise ValueError("detect_attempts must be >= 1")
 
 
 @dataclass
@@ -69,9 +111,16 @@ class FleetCounters:
     sessions_evicted: int = 0
     sessions_dropped: int = 0     # evicted with no checkpoint dir
     sessions_flushed: int = 0
+    sessions_quarantined: int = 0
     ticks: int = 0
     verdicts_emitted: int = 0
     detect_calls: int = 0         # sessions actually re-detected
+    detect_batch_failures: int = 0   # batched passes that fell back
+    detect_retries: int = 0       # extra per-session attempts
+    detect_skipped_breaker: int = 0  # sessions skipped: breaker open
+    spill_failures: int = 0       # spill attempts that failed (kept)
+    spill_skipped_breaker: int = 0   # spills not attempted: breaker open
+    restore_failures: int = 0     # unreadable spills (fresh session)
 
     def as_dict(self) -> dict[str, int]:
         return dict(self.__dict__)
@@ -96,6 +145,13 @@ class FleetSessionManager:
                 or RawTrajectoryProcessor()
         self.processor = processor
         self.counters = FleetCounters()
+        self.quarantine = Quarantine(self.config.quarantine_dir)
+        self.detector_breaker = CircuitBreaker(
+            "detector", self.config.detector_breaker_failures,
+            self.config.detector_breaker_cooldown)
+        self.spill_breaker = CircuitBreaker(
+            "session-spill", self.config.spill_breaker_failures,
+            self.config.spill_breaker_cooldown)
         self._sessions: OrderedDict[SessionKey, TruckSession] = OrderedDict()
         self._known: dict[SessionKey, None] = {}   # insertion-ordered set
         self._aggregate = SessionCounters()        # of flushed sessions
@@ -115,6 +171,10 @@ class FleetSessionManager:
     def known_sessions(self) -> list[SessionKey]:
         """Every unflushed session key ever seen (resident or evicted)."""
         return list(self._known)
+
+    @staticmethod
+    def _chaos_key(session: TruckSession) -> str:
+        return f"{session.truck_id}|{session.day}"
 
     def _checkpoint_path(self, key: SessionKey) -> Path | None:
         if self.config.checkpoint_dir is None:
@@ -144,26 +204,78 @@ class FleetSessionManager:
         return session
 
     def _restore(self, key: SessionKey) -> TruckSession | None:
+        """Restore an evicted session; degrade to fresh on bad spills.
+
+        Transient read failures are retried under ``config.io_retry``;
+        a spill that stays unreadable (or will not parse back into a
+        session) is quarantined with the path for forensics, deleted,
+        and the truck restarts from a fresh session — degraded and
+        counted, never raised into ``ingest``.
+        """
         path = self._checkpoint_path(key)
         if path is None or not path.exists():
             return None
-        state = load_checked_json(path)
-        session = TruckSession.from_state(state, processor=self.processor)
+        try:
+            state = self.config.io_retry.call(load_checked_json, path)
+            session = TruckSession.from_state(state,
+                                              processor=self.processor)
+        except (ArtifactCorruptedError, OSError, KeyError, TypeError,
+                ValueError) as exc:
+            self.counters.restore_failures += 1
+            self.quarantine.record(
+                f"{key[0]}|{key[1]}", "restore", exc,
+                metadata={"path": str(path)})
+            path.unlink(missing_ok=True)
+            warnings.warn(
+                f"session spill {path} is unreadable ({exc}); starting "
+                "a fresh session", RuntimeWarning, stacklevel=3)
+            return None
         self.counters.sessions_restored += 1
         return session
 
     def _evict_over_capacity(self) -> None:
+        """LRU-evict past ``max_sessions``; spill failures degrade.
+
+        A failing or breaker-open spill keeps the victim *resident*
+        (memory over budget beats lost state) and stops this eviction
+        round, so an unwritable checkpoint directory shows up as
+        counters and a warning — never as an exception inside
+        ``ingest``.
+        """
         while len(self._sessions) > self.config.max_sessions:
             key, session = self._sessions.popitem(last=False)
             path = self._checkpoint_path(key)
-            if path is not None:
-                atomic_write_json(path, session.state())
-            else:
+            if path is None:
                 # State is gone; a later ping reopens from scratch.
                 self._aggregate.add(session.counters)
                 self._known.pop(key, None)
                 self.counters.sessions_dropped += 1
+                self.counters.sessions_evicted += 1
+                continue
+            if not self.spill_breaker.allow():
+                self.counters.spill_skipped_breaker += 1
+                self._keep_resident(key, session)
+                return
+            try:
+                self.config.io_retry.call(atomic_write_json, path,
+                                          session.state())
+            except OSError as exc:
+                self.spill_breaker.record_failure()
+                self.counters.spill_failures += 1
+                warnings.warn(
+                    f"failed to spill session {key[0]}/{key[1]} to "
+                    f"{path} ({exc}); keeping it resident",
+                    RuntimeWarning, stacklevel=3)
+                self._keep_resident(key, session)
+                return
+            self.spill_breaker.record_success()
             self.counters.sessions_evicted += 1
+
+    def _keep_resident(self, key: SessionKey,
+                       session: TruckSession) -> None:
+        """Re-insert an eviction victim at its LRU position."""
+        self._sessions[key] = session
+        self._sessions.move_to_end(key, last=False)
 
     # ------------------------------------------------------------------
     # Ingest
@@ -181,7 +293,9 @@ class FleetSessionManager:
 
         Sessions untouched since their last verdict are served from
         that verdict (no re-detection); everything else goes through
-        one batched, degradation-aware detector pass.
+        one batched, degradation-aware detector pass.  Failures never
+        escape: a failing session is quarantined (its verdict reports
+        ``confidence="none"``), the rest of the fleet proceeds.
         """
         self._tick_index += 1
         self.counters.ticks += 1
@@ -197,33 +311,119 @@ class FleetSessionManager:
         self.counters.verdicts_emitted += len(verdicts)
         return verdicts
 
+    # -- supervised building blocks ------------------------------------
+    def _safe_snapshot(self, session: TruckSession):
+        """``session.snapshot()`` under retry; raises after the budget.
+
+        The ``fleet.snapshot`` chaos site fires here (keyed by
+        ``"truck|day"``), modelling snapshot-stage poison: a session
+        whose rolling candidate state breaks the featurization path.
+        """
+        key = self._chaos_key(session)
+        failure: BaseException | None = None
+        for attempt in range(self.config.detect_attempts):
+            if attempt:
+                self.counters.detect_retries += 1
+            try:
+                fault = chaos_point("fleet.snapshot", key=key)
+                if fault is not None:
+                    raise InjectedFault(
+                        f"chaos: injected snapshot failure for {key}")
+                return session.snapshot()
+            except Exception as exc:   # noqa: BLE001 - isolation boundary
+                failure = exc
+        raise failure
+
+    def _detect_one(self, session: TruckSession, snapshot, notes):
+        """One session's detection under retry; raises after the budget."""
+        key = self._chaos_key(session)
+        failure: BaseException | None = None
+        for attempt in range(self.config.detect_attempts):
+            if attempt:
+                self.counters.detect_retries += 1
+            try:
+                fault = chaos_point("detector.forward", key=key)
+                if fault is not None:
+                    raise InjectedFault(
+                        f"chaos: injected detector failure for {key}")
+                result = self.detector.detect_many([snapshot], [notes])[0]
+                self.counters.detect_calls += 1
+                return result
+            except Exception as exc:   # noqa: BLE001 - isolation boundary
+                failure = exc
+        raise failure
+
+    def _quarantine_session(self, session: TruckSession, stage: str,
+                            exc: BaseException) -> None:
+        """Dead-letter one poison session; the fleet moves on.
+
+        The entry carries the session's full checkpoint ``state()`` —
+        enough to rebuild it with :meth:`TruckSession.from_state` and
+        replay the failure offline — plus the provenance notes and the
+        tick it died on.
+        """
+        key = (session.truck_id, session.day)
+        self.quarantine.record(
+            self._chaos_key(session), stage, exc,
+            attempts=self.config.detect_attempts,
+            metadata={
+                "truck_id": session.truck_id,
+                "day": session.day,
+                "tick": self._tick_index,
+                "state": session.state(),
+                "sanitize_notes": session.sanitize_notes(),
+            })
+        self._sessions.pop(key, None)
+        self._known.pop(key, None)
+        path = self._checkpoint_path(key)
+        if path is not None:
+            path.unlink(missing_ok=True)
+        self._aggregate.add(session.counters)
+        self.counters.sessions_quarantined += 1
+
     def _detect(self, sessions: list[TruckSession],
                 final: bool) -> list[ProvisionalVerdict]:
-        """One batched detector pass over ``sessions`` (in order)."""
-        snapshots, notes, index = [], [], []
+        """Supervised batched detector pass over ``sessions`` (in order).
+
+        Healthy path: one fused ``detect_many`` over every session with
+        a candidate snapshot.  A batch failure (or an open detector
+        breaker probe) falls back to per-session isolation; sessions
+        that fail their own retry budget are quarantined.  On non-final
+        ticks an *open* breaker skips detection entirely — affected
+        sessions keep their previous verdict and stay eligible for
+        re-detection — while final flushes always attempt detection.
+        """
+        snapshots: dict[int, object] = {}
+        failures: dict[int, BaseException] = {}
         for i, session in enumerate(sessions):
-            snapshot = session.snapshot()
-            if snapshot is not None and self.detector is not None:
-                snapshots.append(snapshot)
-                notes.append(session.sanitize_notes())
-                index.append(i)
-        results = (self.detector.detect_many(snapshots, notes)
-                   if snapshots else [])
-        self.counters.detect_calls += len(snapshots)
+            try:
+                snapshots[i] = self._safe_snapshot(session)
+            except Exception as exc:   # noqa: BLE001 - isolation boundary
+                failures[i] = exc
+        ready = [i for i, snapshot in snapshots.items()
+                 if snapshot is not None and self.detector is not None]
+        results, skipped = self._detect_ready(sessions, snapshots, ready,
+                                              failures, final)
         verdicts: list[ProvisionalVerdict] = []
-        by_index = dict(zip(index, results))
         for i, session in enumerate(sessions):
-            result = by_index.get(i)
+            if i in failures:
+                self._quarantine_session(
+                    session, "flush-detect" if final else "tick-detect",
+                    failures[i])
+                verdicts.append(self._empty_verdict(session, final))
+                continue
+            if i in skipped:
+                # Breaker open: serve the stale verdict (or none) and
+                # leave the session marked dirty for the next tick.
+                verdicts.append(session.last_verdict
+                                if session.last_verdict is not None
+                                else self._empty_verdict(session, final))
+                continue
+            result = results.get(i)
             if result is None:
-                verdict = ProvisionalVerdict(
-                    truck_id=session.truck_id, day=session.day,
-                    pair=None, probability=None,
-                    confidence=confidence_tier(None),
-                    final=final,
-                    num_stay_points=session.num_closed_stay_points,
-                    num_candidates=0, tick=self._tick_index)
+                verdict = self._empty_verdict(session, final)
             else:
-                snapshot = session.snapshot()
+                snapshot = snapshots[i]
                 probability = float(result.distribution[
                     snapshot.candidate_index(result.pair)])
                 verdict = ProvisionalVerdict(
@@ -242,6 +442,58 @@ class FleetSessionManager:
             session.last_verdict_version = session.version
             verdicts.append(verdict)
         return verdicts
+
+    def _detect_ready(self, sessions, snapshots, ready, failures,
+                      final) -> tuple[dict, set[int]]:
+        """Run the detector over the ready set; returns (results, skipped).
+
+        ``results`` maps session position → DetectionResult; positions
+        that fail move into ``failures``; ``skipped`` positions were not
+        attempted because the breaker is open (non-final only).
+        """
+        if not ready:
+            return {}, set()
+        if not final and not self.detector_breaker.allow():
+            self.counters.detect_skipped_breaker += len(ready)
+            return {}, set(ready)
+        batch = [snapshots[i] for i in ready]
+        notes = [sessions[i].sanitize_notes() for i in ready]
+        try:
+            fault = chaos_point("detector.batch")
+            if fault is not None:
+                raise InjectedFault(
+                    "chaos: injected batched-detector failure")
+            for i in ready:   # per-session poison surfaces in the batch
+                fault = chaos_point("detector.forward",
+                                    key=self._chaos_key(sessions[i]))
+                if fault is not None:
+                    raise InjectedFault(
+                        "chaos: injected detector failure for "
+                        f"{self._chaos_key(sessions[i])}")
+            raw = self.detector.detect_many(batch, notes)
+        except Exception:  # noqa: BLE001 - isolate below
+            self.detector_breaker.record_failure()
+            self.counters.detect_batch_failures += 1
+            results: dict[int, object] = {}
+            for i in ready:
+                try:
+                    results[i] = self._detect_one(
+                        sessions[i], snapshots[i], notes[ready.index(i)])
+                except Exception as exc:  # noqa: BLE001
+                    failures[i] = exc
+            return results, set()
+        self.detector_breaker.record_success()
+        self.counters.detect_calls += len(ready)
+        return dict(zip(ready, raw)), set()
+
+    def _empty_verdict(self, session: TruckSession,
+                       final: bool) -> ProvisionalVerdict:
+        return ProvisionalVerdict(
+            truck_id=session.truck_id, day=session.day,
+            pair=None, probability=None,
+            confidence=confidence_tier(None), final=final,
+            num_stay_points=session.num_closed_stay_points,
+            num_candidates=0, tick=self._tick_index)
 
     # ------------------------------------------------------------------
     # Flush (end of day)
@@ -273,6 +525,8 @@ class FleetSessionManager:
             sessions.append(session)
         verdicts = self._detect(sessions, final=True)
         for key, session in zip(keys, sessions):
+            if key not in self._known and key not in self._sessions:
+                continue   # quarantined during the final detect
             self._sessions.pop(key, None)
             self._known.pop(key, None)
             path = self._checkpoint_path(key)
@@ -301,6 +555,12 @@ class FleetSessionManager:
             "known_sessions": len(self._known),
             "fleet": self.counters.as_dict(),
             "sessions": self.session_totals().as_dict(),
+            "quarantine": self.quarantine.summary(),
+            "breakers": {
+                "detector": self.detector_breaker.stats(),
+                "session_spill": self.spill_breaker.stats(),
+            },
+            "io_retry": self.config.io_retry.counters.as_dict(),
         }
         cache = getattr(self.detector, "feature_cache", None)
         if cache is not None:

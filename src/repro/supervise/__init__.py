@@ -1,0 +1,33 @@
+"""Supervised execution: retries, circuit breakers, dead letters.
+
+PR 1 made individual components resilient (typed errors, atomic IO,
+degradation tiers); PR 4 scaled detection to a fleet of concurrent
+sessions.  This package supplies the *supervision* glue between them —
+the policies that decide what happens when a component fails anyway:
+
+* :class:`~repro.supervise.retry.RetryPolicy` — bounded retries with
+  deterministic seeded exponential backoff and per-attempt timeouts,
+  re-raising the original exception when the budget is spent;
+* :class:`~repro.supervise.breaker.CircuitBreaker` — closed/open/half-
+  open around detectors and checkpoint IO, so a persistently failing
+  dependency degrades once instead of failing per call;
+* :class:`~repro.supervise.quarantine.Quarantine` — a deterministic
+  dead-letter store capturing poison inputs with the triggering
+  exception and replay metadata (atomic JSON via :mod:`repro.io`).
+
+The consumers are :class:`repro.stream.FleetSessionManager` (per-session
+fault isolation), :func:`repro.perf.parallel.parallel_map` (crashed /
+hung worker recovery), and :class:`repro.nn.checkpoint.CheckpointManager`
+(transient-IO retry, corruption breaker).  :mod:`repro.chaos` proves all
+of it under deterministic fault injection.
+"""
+
+from .breaker import CircuitBreaker
+from .quarantine import Quarantine, QuarantineEntry
+from .retry import RetryCounters, RetryPolicy
+
+__all__ = [
+    "RetryPolicy", "RetryCounters",
+    "CircuitBreaker",
+    "Quarantine", "QuarantineEntry",
+]
