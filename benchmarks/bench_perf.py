@@ -104,3 +104,42 @@ def test_bench_harness_payload(tmp_path):
     assert payload["metrics"]["train_fused_speedup"] > 1.0
     # A payload never regresses against itself.
     assert compare_to_baseline(payload, payload) == []
+
+
+def test_preprocess_vectorized_vs_legacy(trained_lead, test_processed,
+                                         benchmark):
+    """The chunked scanner must beat the legacy per-fix loop, exactly."""
+    from repro.perf.bench import _legacy_extract_spans
+    import time
+
+    extractor = trained_lead.processor.extractor
+    cleaned = [p.cleaned for p in test_processed]
+
+    def vectorized() -> None:
+        for trajectory in cleaned:
+            extractor.extract(trajectory)
+
+    benchmark(vectorized)
+    start = time.perf_counter()
+    legacy = [_legacy_extract_spans(t, extractor.max_distance_m,
+                                    extractor.min_duration_s)
+              for t in cleaned]
+    legacy_s = time.perf_counter() - start
+    start = time.perf_counter()
+    spans = [[(sp.start, sp.end) for sp in extractor.extract(t)]
+             for t in cleaned]
+    vector_s = time.perf_counter() - start
+    assert spans == legacy          # bit-identical span sets
+    assert vector_s < legacy_s      # and strictly faster
+
+
+def test_preprocess_payload_metrics(tmp_path):
+    from repro.perf import run_bench
+    payload = run_bench(repeats=1, train_wall=False)
+    pre = payload["preprocess_equivalence"]
+    assert pre["spans_identical"] and pre["filter_identical"] \
+        and pre["poi_allclose"]
+    for key in ("preprocess_extract_tps", "preprocess_filter_tps",
+                "preprocess_poi_pps"):
+        assert payload["metrics"][key] > 0
+    assert payload["metrics"]["preprocess_extract_speedup"] > 1.0

@@ -8,6 +8,7 @@ the hierarchical autoencoder compresses separately and hierarchically.
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass
 from enum import Enum
 
@@ -94,6 +95,13 @@ class CandidateFeaturizer:
         #: ``None`` disables caching; behaviour is identical either way.
         self.cache = cache
         self._context_memo: tuple | None = None
+        # Whole-trajectory normalized feature matrices, memoized by object
+        # identity + featurization context.  Normalization is elementwise,
+        # so slicing rows out of the full transformed matrix is
+        # bit-identical to transforming each segment's rows separately —
+        # but costs one array op per trajectory instead of one per segment.
+        self._normalized_memo: \
+            OrderedDict[int, tuple[object, bytes, np.ndarray]] = OrderedDict()
 
     # ------------------------------------------------------------------
     def fit_normalizer(self, trajectories) -> ZScoreNormalizer:
@@ -158,12 +166,42 @@ class CandidateFeaturizer:
     #: was private before the throughput layer made it a public contract).
     _segment_features = segment_features
 
+    _NORMALIZED_MEMO_MAX = 256
+
+    def _normalized_features(self, trajectory) -> np.ndarray:
+        """Normalized, rescaled feature matrix of a whole trajectory."""
+        context = self.context_fingerprint()
+        key = id(trajectory)
+        memo = self._normalized_memo
+        hit = memo.get(key)
+        if hit is not None and hit[0] is trajectory and hit[1] == context:
+            memo.move_to_end(key)
+            return hit[2]
+        matrix = self.normalizer.transform(
+            self.extractor.trajectory_features(trajectory)) \
+            * self.feature_scale
+        memo[key] = (trajectory, context, matrix)
+        while len(memo) > self._NORMALIZED_MEMO_MAX:
+            memo.popitem(last=False)
+        return matrix
+
     def _compute_segment_features(self, segment: StayPoint | MovePoint
                                   ) -> np.ndarray:
         indices = subsample_indices(segment.start, segment.end,
                                     self.extractor.config.max_segment_len)
-        raw = self.extractor.point_features(segment.trajectory, indices)
-        return self.normalizer.transform(raw) * self.feature_scale
+        return self._normalized_features(segment.trajectory)[indices]
+
+    def clear_memos(self) -> None:
+        """Drop the per-trajectory normalized-matrix memo (cold benches)."""
+        self._normalized_memo.clear()
+
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle without the normalized-matrix memo: ``id()`` keys mean
+        nothing in another process and the matrices rebuild on demand."""
+        state = self.__dict__.copy()
+        state["_normalized_memo"] = OrderedDict()
+        return state
 
     def featurize(self, candidate: CandidateTrajectory) -> CandidateFeatures:
         """The segmented f-seq of one candidate."""

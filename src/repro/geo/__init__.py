@@ -1,11 +1,12 @@
 """Geodesy utilities for WGS84 coordinates (DESIGN.md S5)."""
 
-from .distance import (EARTH_RADIUS_M, haversine_m, pairwise_haversine_m,
-                       speed_kmh)
+from .distance import (EARTH_RADIUS_M, haversine_m, haversine_rad_m,
+                       pairwise_haversine_m, speed_kmh)
 from .bbox import BoundingBox, NANTONG_BBOX
 from .projection import LocalProjection
 
 __all__ = [
-    "EARTH_RADIUS_M", "haversine_m", "pairwise_haversine_m", "speed_kmh",
+    "EARTH_RADIUS_M", "haversine_m", "haversine_rad_m",
+    "pairwise_haversine_m", "speed_kmh",
     "BoundingBox", "NANTONG_BBOX", "LocalProjection",
 ]

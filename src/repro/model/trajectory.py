@@ -7,7 +7,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
-from ..geo import haversine_m, pairwise_haversine_m
+from ..geo import haversine_m, haversine_rad_m
 
 __all__ = ["GPSPoint", "Trajectory"]
 
@@ -31,7 +31,7 @@ class Trajectory:
     sequence protocol yields :class:`GPSPoint` views for ergonomic access.
     """
 
-    __slots__ = ("lats", "lngs", "ts", "truck_id", "day")
+    __slots__ = ("lats", "lngs", "ts", "truck_id", "day", "_radians")
 
     def __init__(self, lats: Sequence[float], lngs: Sequence[float],
                  ts: Sequence[float], truck_id: str = "",
@@ -47,6 +47,7 @@ class Trajectory:
             raise ValueError("timestamps must be strictly increasing")
         self.truck_id = truck_id
         self.day = day
+        self._radians: tuple[np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -80,6 +81,19 @@ class Trajectory:
                           self.ts[start:stop], truck_id=self.truck_id,
                           day=self.day)
 
+    def radians(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(lats, lngs)`` in radians, computed once and cached.
+
+        Every vectorized geo kernel downstream (noise filter, stay-point
+        scanner, distance metrics) needs radian coordinates; converting
+        per call would re-run two full ``np.radians`` passes each time.
+        The arrays are owned by the trajectory — treat them as
+        read-only, like the degree columns.
+        """
+        if self._radians is None:
+            self._radians = (np.radians(self.lats), np.radians(self.lngs))
+        return self._radians
+
     # ------------------------------------------------------------------
     @property
     def duration_s(self) -> float:
@@ -87,15 +101,27 @@ class Trajectory:
             return 0.0
         return float(self.ts[-1] - self.ts[0])
 
+    def pairwise_distances_m(self) -> np.ndarray:
+        """Distances between consecutive points, shape ``(n-1,)``.
+
+        Served from the cached radian arrays, so repeated metric calls
+        (length, speeds, noise filtering) share one conversion pass.
+        """
+        if len(self) < 2:
+            return np.zeros(0)
+        lats_r, lngs_r = self.radians()
+        return haversine_rad_m(lats_r[:-1], lngs_r[:-1],
+                               lats_r[1:], lngs_r[1:])
+
     def length_m(self) -> float:
         """Total path length along consecutive points."""
-        return float(pairwise_haversine_m(self.lats, self.lngs).sum())
+        return float(self.pairwise_distances_m().sum())
 
     def segment_speeds_kmh(self) -> np.ndarray:
         """Speed of each consecutive segment, shape ``(n-1,)``."""
         if len(self) < 2:
             return np.zeros(0)
-        dist = pairwise_haversine_m(self.lats, self.lngs)
+        dist = self.pairwise_distances_m()
         dt = np.diff(self.ts)
         with np.errstate(divide="ignore", invalid="ignore"):
             speeds = np.where(dt > 0, dist / np.maximum(dt, 1e-12) * 3.6,

@@ -105,7 +105,8 @@ class LRUCache:
         self._data.clear()
 
 
-def _digest(*parts: bytes) -> bytes:
+def _digest(*parts) -> bytes:
+    """Blake2b over byte strings or C-contiguous arrays (zero-copy)."""
     hasher = hashlib.blake2b(digest_size=16)
     for part in parts:
         hasher.update(part)
@@ -165,11 +166,11 @@ class TrajectoryFingerprinter:
             (id(trajectory), start, end), trajectory,
             lambda: _digest(
                 np.ascontiguousarray(trajectory.lats[start:end + 1],
-                                     dtype=np.float64).tobytes(),
+                                     dtype=np.float64),
                 np.ascontiguousarray(trajectory.lngs[start:end + 1],
-                                     dtype=np.float64).tobytes(),
+                                     dtype=np.float64),
                 np.ascontiguousarray(trajectory.ts[start:end + 1],
-                                     dtype=np.float64).tobytes()))
+                                     dtype=np.float64)))
 
 
 class SegmentFeatureCache:

@@ -25,12 +25,40 @@ must wait for :meth:`StayPointScanner.finish`.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
-from ..geo import haversine_m
+import numpy as np
+
+from ..geo import EARTH_RADIUS_M, haversine_m, haversine_rad_m
 from ..model import MovePoint, StayPoint, Trajectory
 
 __all__ = ["StayPointScanner", "StayPointExtractor", "extract_move_points"]
+
+#: Candidate points examined per vectorized scan round.  Bounds the
+#: temporary arrays of :meth:`StayPointScanner.feed_batch` regardless of
+#: trajectory length; anything ≥ a few hundred amortizes numpy call
+#: overhead completely.
+_SCAN_CHUNK = 2048
+
+#: Below this many candidates a tight :mod:`math` loop beats numpy's
+#: per-call overhead (the common case for per-ping streaming feeds,
+#: where the unscanned tail is a single fix).
+_SCALAR_CUTOFF = 24
+
+
+def _haversine_rad_scalar(lat1: float, lng1: float,
+                          lat2: float, lng2: float) -> float:
+    """Scalar :mod:`math`-lane haversine over radian coordinates."""
+    sin_dlat = math.sin((lat2 - lat1) / 2.0)
+    sin_dlng = math.sin((lng2 - lng1) / 2.0)
+    h = (sin_dlat * sin_dlat
+         + math.cos(lat1) * math.cos(lat2) * sin_dlng * sin_dlng)
+    if h > 1.0:
+        h = 1.0
+    elif h < 0.0:
+        h = 0.0
+    return 2.0 * EARTH_RADIUS_M * math.asin(math.sqrt(h))
 
 
 class StayPointScanner:
@@ -46,7 +74,9 @@ class StayPointScanner:
     """
 
     __slots__ = ("max_distance_m", "min_duration_s", "lats", "lngs", "ts",
-                 "_anchor", "_last", "_scan", "_emitted", "_finished")
+                 "_anchor", "_last", "_scan", "_emitted", "_finished",
+                 "_rad_lat", "_rad_lng", "_rlat", "_rlng", "_far",
+                 "_batch_lane")
 
     def __init__(self, max_distance_m: float = 500.0,
                  min_duration_s: float = 15.0 * 60.0) -> None:
@@ -63,6 +93,26 @@ class StayPointScanner:
         self._scan = 1        # next index to test against the anchor
         self._emitted = 0     # spans emitted so far (== next ordinal - 1)
         self._finished = False
+        #: Radian mirrors of ``lats``/``lngs``, kept twice: numpy
+        #: buffers (doubling capacity) feed the chunked vectorized scan,
+        #: and plain float lists feed the scalar head loop — indexing a
+        #: Python list of floats is ~5x cheaper per element than boxing
+        #: ``np.float64`` scalars out of an array.
+        self._rad_lat = np.empty(64)
+        self._rad_lng = np.empty(64)
+        self._rlat: list[float] = []
+        self._rlng: list[float] = []
+        #: ``_far[i]`` ⇔ fix ``i+1`` is farther than ``Dmax`` from fix
+        #: ``i``.  When a *fresh* run's first candidate is already far,
+        #: the rule algorithm provably rejects and advances the anchor
+        #: by one — so :meth:`_advance_batch` fast-forwards through
+        #: whole moving stretches by walking these precomputed flags
+        #: instead of re-deciding each anchor with a haversine.
+        self._far: list[bool] = []
+        #: Whether any :meth:`feed_batch` call happened; decides which
+        #: lane :meth:`finish` uses so a purely scalar replay (the
+        #: equivalence oracle) stays scalar end to end.
+        self._batch_lane = False
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -137,29 +187,202 @@ class StayPointScanner:
             if span is not None:
                 spans.append(span)
 
+    def _find_break(self, n: int) -> int | None:
+        """First index in ``[_scan, n)`` farther than ``Dmax`` from the
+        anchor, or ``None`` when the whole tail stays within range.
+
+        The vectorized twin of the scalar inner while loop: one chunked
+        haversine over the precomputed radian buffers instead of one
+        scalar call per fix.  Short tails (the per-ping streaming case)
+        take a tight :mod:`math` loop that beats numpy's call overhead.
+        """
+        rlat, rlng = self._rlat, self._rlng
+        a_lat = rlat[self._anchor]
+        a_lng = rlng[self._anchor]
+        # Tight math loop over the first few candidates: most runs break
+        # within a handful of fixes, and per-ping streaming feeds only
+        # ever have a one-fix tail.
+        head_end = min(self._scan + _SCALAR_CUTOFF, n)
+        cos_a = math.cos(a_lat)
+        sin = math.sin
+        cos = math.cos
+        asin = math.asin
+        sqrt = math.sqrt
+        diameter = 2.0 * EARTH_RADIUS_M
+        dmax = self.max_distance_m
+        for k in range(self._scan, head_end):
+            sin_dlat = sin((rlat[k] - a_lat) / 2.0)
+            sin_dlng = sin((rlng[k] - a_lng) / 2.0)
+            h = (sin_dlat * sin_dlat
+                 + cos_a * cos(rlat[k]) * sin_dlng * sin_dlng)
+            if h > 1.0:
+                h = 1.0
+            elif h < 0.0:
+                h = 0.0
+            if diameter * asin(sqrt(h)) > dmax:
+                return k
+        # Doubling chunks beyond the head: a break ``d`` fixes away costs
+        # O(d) scanned candidates, never a full fixed-width chunk.
+        chunk_start, chunk = head_end, 64
+        while chunk_start < n:
+            chunk_end = min(chunk_start + chunk, n)
+            distances = haversine_rad_m(
+                a_lat, a_lng,
+                self._rad_lat[chunk_start:chunk_end],
+                self._rad_lng[chunk_start:chunk_end])
+            far = distances > self.max_distance_m
+            if far.any():
+                return chunk_start + int(far.argmax())
+            chunk_start = chunk_end
+            chunk = min(chunk * 2, _SCAN_CHUNK)
+        return None
+
+    def _advance_batch(self, final: bool) -> list[tuple[int, int]]:
+        """Vectorized :meth:`_advance`: identical state transitions —
+        the scalar loop's post-conditions (``_scan``, ``_last``,
+        ``_anchor``, spans) are reproduced exactly, it only finds each
+        run break with :meth:`_find_break` instead of a per-fix scan."""
+        spans: list[tuple[int, int]] = []
+        n = len(self.ts)
+        far = self._far
+        while True:
+            if self._scan == self._anchor + 1 and self._scan < n:
+                # Fast-forward through a moving stretch: while the fresh
+                # run's first candidate is already beyond Dmax, the
+                # scalar loop breaks immediately, rejects (the run holds
+                # only its anchor), and advances the anchor by one — a
+                # pure pointer march this flag walk reproduces exactly.
+                a = self._anchor
+                stop = n - 1
+                while a < stop and far[a]:
+                    a += 1
+                self._anchor = a
+                self._last = a
+                self._scan = a + 1
+            broke = False
+            if self._scan < n:
+                k = self._find_break(n)
+                if k is None:
+                    self._last = n - 1
+                    self._scan = n
+                else:
+                    self._last = k - 1
+                    self._scan = k
+                    broke = True
+            if broke:
+                span = self._close_run()
+                if span is not None:
+                    spans.append(span)
+                continue  # rescan the buffer from the new anchor
+            if not final:
+                return spans
+            if self._anchor >= n - 1:
+                return spans
+            span = self._close_run()
+            if span is not None:
+                spans.append(span)
+
     # ------------------------------------------------------------------
+    def _ensure_capacity(self, need: int) -> None:
+        """Grow the radian buffers to hold at least ``need`` fixes."""
+        capacity = self._rad_lat.size
+        if need <= capacity:
+            return
+        while capacity < need:
+            capacity *= 2
+        for name in ("_rad_lat", "_rad_lng"):
+            old = getattr(self, name)
+            grown = np.empty(capacity)
+            grown[:old.size] = old
+            setattr(self, name, grown)
+
     def feed(self, lat: float, lng: float, t: float
              ) -> list[tuple[int, int]]:
         """Ingest one cleaned fix; return newly decidable spans.
 
         Timestamps must be strictly increasing (the stream layer's
         reorder buffer guarantees this before fixes reach the scanner).
+
+        This is the scalar reference path — :meth:`feed_batch` is the
+        production lane, and equivalence tests replay both against each
+        other.
         """
         if self._finished:
             raise ValueError("scanner already finished")
         if self.ts and t <= self.ts[-1]:
             raise ValueError("scanner requires strictly increasing "
                              "timestamps")
+        n = len(self.ts)
+        self._ensure_capacity(n + 1)
+        # math.radians and np.radians multiply by the same double
+        # constant, so the scalar and batch lanes fill identical bits.
+        rad_lat = math.radians(lat)
+        rad_lng = math.radians(lng)
+        self._rad_lat[n] = rad_lat
+        self._rad_lng[n] = rad_lng
+        if n:
+            self._far.append(_haversine_rad_scalar(
+                self._rlat[-1], self._rlng[-1], rad_lat, rad_lng)
+                > self.max_distance_m)
+        self._rlat.append(rad_lat)
+        self._rlng.append(rad_lng)
         self.lats.append(float(lat))
         self.lngs.append(float(lng))
         self.ts.append(float(t))
         return self._advance(final=False)
+
+    def feed_batch(self, lats, lngs, ts) -> list[tuple[int, int]]:
+        """Ingest many cleaned, time-ordered fixes at once.
+
+        Emits exactly the spans that feeding the same fixes one
+        :meth:`feed` call at a time would emit, and leaves the scanner
+        in the identical state (same anchor/scan pointers, so
+        checkpoints and later feeds cannot diverge either).  The win is
+        how each run break is found: one chunked vectorized haversine
+        over precomputed radian buffers instead of a Python loop of
+        scalar calls — this is what makes offline extraction and bulk
+        stream ingest array-at-a-time.
+        """
+        if self._finished:
+            raise ValueError("scanner already finished")
+        lats = np.asarray(lats, dtype=np.float64)
+        lngs = np.asarray(lngs, dtype=np.float64)
+        ts = np.asarray(ts, dtype=np.float64)
+        if not (lats.shape == lngs.shape == ts.shape) or lats.ndim != 1:
+            raise ValueError("feed_batch needs equal-length 1-D arrays")
+        count = ts.size
+        if count == 0:
+            return []
+        if ((self.ts and ts[0] <= self.ts[-1])
+                or (count > 1 and not (np.diff(ts) > 0).all())):
+            raise ValueError("scanner requires strictly increasing "
+                             "timestamps")
+        n = len(self.ts)
+        self._ensure_capacity(n + count)
+        np.radians(lats, out=self._rad_lat[n:n + count])
+        np.radians(lngs, out=self._rad_lng[n:n + count])
+        total = n + count
+        if total >= 2:
+            lo = n - 1 if n else 0  # include the pair crossing the batch
+            distances = haversine_rad_m(
+                self._rad_lat[lo:total - 1], self._rad_lng[lo:total - 1],
+                self._rad_lat[lo + 1:total], self._rad_lng[lo + 1:total])
+            self._far.extend((distances > self.max_distance_m).tolist())
+        self._rlat.extend(self._rad_lat[n:n + count].tolist())
+        self._rlng.extend(self._rad_lng[n:n + count].tolist())
+        self.lats.extend(lats.tolist())
+        self.lngs.extend(lngs.tolist())
+        self.ts.extend(ts.tolist())
+        self._batch_lane = True
+        return self._advance_batch(final=False)
 
     def finish(self) -> list[tuple[int, int]]:
         """End of stream: decide everything still open (idempotent)."""
         if self._finished:
             return []
         self._finished = True
+        if self._batch_lane:
+            return self._advance_batch(final=True)
         return self._advance(final=True)
 
     # ------------------------------------------------------------------
@@ -180,6 +403,18 @@ class StayPointScanner:
         scanner.lats = [float(v) for v in state["lats"]]
         scanner.lngs = [float(v) for v in state["lngs"]]
         scanner.ts = [float(v) for v in state["ts"]]
+        n = len(scanner.ts)
+        scanner._ensure_capacity(n)
+        scanner._rad_lat[:n] = np.radians(scanner.lats)
+        scanner._rad_lng[:n] = np.radians(scanner.lngs)
+        scanner._rlat = scanner._rad_lat[:n].tolist()
+        scanner._rlng = scanner._rad_lng[:n].tolist()
+        if n >= 2:
+            distances = haversine_rad_m(
+                scanner._rad_lat[:n - 1], scanner._rad_lng[:n - 1],
+                scanner._rad_lat[1:n], scanner._rad_lng[1:n])
+            scanner._far = (distances
+                            > scanner.max_distance_m).tolist()
         scanner._anchor = int(state["anchor"])
         scanner._last = int(state["last"])
         scanner._scan = int(state["scan"])
@@ -207,14 +442,14 @@ class StayPointExtractor:
     def extract(self, trajectory: Trajectory) -> list[StayPoint]:
         """All stay points of a (cleaned) trajectory, in temporal order.
 
-        Implemented as a ping-by-ping replay of the online scanner, so
-        offline extraction and streaming ingest share one code path.
+        Implemented as a single :meth:`StayPointScanner.feed_batch`
+        replay of the online scanner (plus the flush), so offline
+        extraction and streaming ingest share one code path — and both
+        run the chunked vectorized scan rather than a per-fix loop.
         """
         scanner = self.scanner()
-        spans: list[tuple[int, int]] = []
-        lats, lngs, ts = trajectory.lats, trajectory.lngs, trajectory.ts
-        for i in range(len(trajectory)):
-            spans.extend(scanner.feed(lats[i], lngs[i], ts[i]))
+        spans = scanner.feed_batch(trajectory.lats, trajectory.lngs,
+                                   trajectory.ts)
         spans.extend(scanner.finish())
         return [StayPoint(trajectory, start, end, ordinal=k + 1)
                 for k, (start, end) in enumerate(spans)]

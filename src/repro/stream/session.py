@@ -140,10 +140,48 @@ class TruckSession:
         released = self._reorder.push(lat, lng, t)
         self.counters.pings_dropped_late += stats.dropped - dropped
         self.counters.pings_reordered += stats.reordered - reordered
-        closed = 0
-        for fix in released:
-            closed += self._accept(*fix)
-        return closed
+        if len(released) == 1:
+            # The common in-order case: one fix in, one fix out.  The
+            # scalar lane beats array setup overhead at batch size 1.
+            return self._accept(*released[0])
+        return self._accept_batch(released)
+
+    def ingest_batch(self, lats, lngs, ts) -> int:
+        """Offer many raw pings at once; returns stay points closed.
+
+        Semantically identical to calling :meth:`ingest` per ping — the
+        sanitize predicate, reorder buffer, noise filter, and scanner
+        see the same fixes in the same order and end in the same state
+        (checkpoints match bit for bit).  The heavy stages run
+        array-at-a-time: one vectorized sanitize mask, one noise-filter
+        pass, one :meth:`~repro.processing.StayPointScanner.feed_batch`
+        call for the whole released stretch.
+        """
+        if self._finalized:
+            raise ValueError(
+                f"session {self.truck_id}/{self.day} is finalized")
+        lats = np.asarray(lats, dtype=np.float64)
+        lngs = np.asarray(lngs, dtype=np.float64)
+        ts = np.asarray(ts, dtype=np.float64)
+        if not (lats.shape == lngs.shape == ts.shape) or lats.ndim != 1:
+            raise ValueError("ingest_batch needs equal-length 1-D arrays")
+        count = int(ts.size)
+        self.counters.pings_ingested += count
+        if count == 0:
+            return 0
+        valid = (np.isfinite(lats) & np.isfinite(lngs) & np.isfinite(ts)
+                 & (np.abs(lats) <= 90.0) & (np.abs(lngs) <= 180.0))
+        self.counters.pings_dropped_invalid += count - int(valid.sum())
+        stats = self._reorder.stats
+        dropped, reordered = stats.dropped, stats.reordered
+        released: list[tuple[float, float, float]] = []
+        push = self._reorder.push
+        for i in np.flatnonzero(valid):
+            released.extend(push(float(lats[i]), float(lngs[i]),
+                                 float(ts[i])))
+        self.counters.pings_dropped_late += stats.dropped - dropped
+        self.counters.pings_reordered += stats.reordered - reordered
+        return self._accept_batch(released)
 
     def _accept(self, lat: float, lng: float, t: float) -> int:
         """One sanitized, in-order fix: noise filter then scanner."""
@@ -159,6 +197,37 @@ class TruckSession:
         spans = self._scanner.feed(lat, lng, t)
         self._record_spans(spans)
         self.version += 1
+        return len(spans)
+
+    def _accept_batch(self, fixes: list[tuple[float, float, float]]) -> int:
+        """Batched :meth:`_accept`: same kept set, same spans, same
+        counters and version — the noise filter and scanner just see
+        the whole released stretch as arrays instead of one fix at a
+        time."""
+        if not fixes:
+            return 0
+        lats = np.fromiter((f[0] for f in fixes), dtype=np.float64,
+                           count=len(fixes))
+        lngs = np.fromiter((f[1] for f in fixes), dtype=np.float64,
+                           count=len(fixes))
+        ts = np.fromiter((f[2] for f in fixes), dtype=np.float64,
+                         count=len(fixes))
+        kept = self.processor.noise_filter.kept_indices(
+            lats, lngs, ts, prev=self._last_kept)
+        self.counters.pings_dropped_noise += len(fixes) - int(kept.size)
+        if kept.size == 0:
+            return 0
+        kept_lats = lats[kept]
+        kept_lngs = lngs[kept]
+        kept_ts = ts[kept]
+        self._last_kept = (float(kept_lats[-1]), float(kept_lngs[-1]),
+                           float(kept_ts[-1]))
+        self.counters.pings_kept += int(kept.size)
+        spans = self._scanner.feed_batch(kept_lats, kept_lngs, kept_ts)
+        self._record_spans(spans)
+        # One bump per kept fix, exactly like the per-ping lane, so a
+        # checkpoint taken after a bulk ingest equals the per-ping one.
+        self.version += int(kept.size)
         return len(spans)
 
     def _record_spans(self, spans: list[tuple[int, int]]) -> None:
@@ -182,9 +251,7 @@ class TruckSession:
         """
         if self._finalized:
             return 0
-        closed = 0
-        for fix in self._reorder.flush():
-            closed += self._accept(*fix)
+        closed = self._accept_batch(self._reorder.flush())
         spans = self._scanner.finish()
         self._record_spans(spans)
         closed += len(spans)
