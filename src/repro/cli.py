@@ -217,11 +217,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     import json
     from .io import atomic_write_json
     from .perf import compare_to_baseline, format_bench_table, run_bench
-    payload = run_bench(scale=args.scale, repeats=args.repeats,
-                        train_wall=not args.skip_train)
-    atomic_write_json(args.out, payload)
+    if args.quick:
+        # Smoke mode: tiny scale, one repeat, no train wall-clock, and
+        # nothing written — a seconds-long end-to-end sanity pass.
+        payload = run_bench(scale="tiny", repeats=1, train_wall=False)
+    else:
+        payload = run_bench(scale=args.scale, repeats=args.repeats,
+                            train_wall=not args.skip_train)
     print(format_bench_table(payload))
-    print(f"wrote {args.out}")
+    if args.cache_stats:
+        print(_format_cache_stats(payload.get("feature_cache")))
+    if not args.quick:
+        atomic_write_json(args.out, payload)
+        print(f"wrote {args.out}")
     if not payload["equivalence"]["allclose"]:
         print("FAIL: batched detection diverges from per-trajectory "
               "results", file=sys.stderr)
@@ -238,6 +246,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"no regression vs {args.baseline} "
               f"(threshold {args.max_regression:g}x)")
     return 0
+
+
+def _format_cache_stats(cache: dict | None) -> str:
+    """One readable line of feature-cache counters (``--cache-stats``)."""
+    if not cache:
+        return "feature cache: disabled"
+    line = (f"feature cache: hits={cache['hits']}  misses={cache['misses']}  "
+            f"evictions={cache['evictions']}  "
+            f"hit_rate={cache['hit_rate']:.2f}")
+    dtype_keys = cache.get("dtype_keys")
+    if dtype_keys:
+        per_dtype = "  ".join(f"{name}={count}"
+                              for name, count in sorted(dtype_keys.items()))
+        line += f"\nfeature cache entries by dtype: {per_dtype}"
+    return line
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -358,6 +381,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "when throughput regresses past --max-regression")
     p.add_argument("--max-regression", type=float, default=2.0,
                    help="allowed throughput drop factor vs the baseline")
+    p.add_argument("--quick", action="store_true",
+                   help="tiny-scale smoke run: one repeat, prints the "
+                        "table, writes no BENCH files")
+    p.add_argument("--cache-stats", dest="cache_stats", action="store_true",
+                   help="print feature-cache hit/miss/eviction counters "
+                        "and per-dtype entry counts")
     p.set_defaults(func=_cmd_bench)
 
     parser.add_argument("--traceback", action="store_true",

@@ -369,7 +369,8 @@ class HierarchicalAutoencoder(Module):
             sp_lengths = pairs_arr[:, 1] - pairs_arr[:, 0] + 1
             mp_lengths = pairs_arr[:, 1] - pairs_arr[:, 0]
             h = self.config.hidden_size
-            out = np.empty((pairs_arr.shape[0], self.config.cvec_dim))
+            out = np.empty((pairs_arr.shape[0], self.config.cvec_dim),
+                           dtype=sp_cvecs.dtype)
             for rows in _shape_buckets(sp_lengths, bucket):
                 width = int(sp_lengths[rows].max())
                 cols = np.arange(width)[None, :]

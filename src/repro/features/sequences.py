@@ -15,6 +15,7 @@ from enum import Enum
 import numpy as np
 
 from ..model import CandidateTrajectory, MovePoint, StayPoint
+from ..nn.precision import active_dtype_name
 from ..perf.cache import SegmentFeatureCache
 from .extract import FeatureExtractor, subsample_indices
 from .normalize import ZScoreNormalizer
@@ -147,19 +148,28 @@ class CandidateFeaturizer:
         This is the public hot-path entry point: the pipeline, the
         baselines and the cache all route through it.  With a cache
         attached, each (trajectory content, segment range, featurization
-        context) triple is computed once; cached matrices are returned
-        read-only.
+        context, compute dtype) tuple is computed once; cached matrices
+        are returned read-only.  Under an active float32 inference
+        policy the matrix is cast once here — downstream padding and
+        kernels then stay in float32 without per-call casts — and lives
+        under a dtype-disjoint cache key.
         """
+        dtype_name = active_dtype_name()
         cache = self.cache
         if cache is None:
-            return self._compute_segment_features(segment)
+            value = self._compute_segment_features(segment)
+            if dtype_name != "float64":
+                value = value.astype(dtype_name)
+            return value
         context = self.context_fingerprint()
-        hit = cache.get(segment, context)
+        hit = cache.get(segment, context, dtype_name)
         if hit is not None:
             return hit  # type: ignore[return-value]
         value = self._compute_segment_features(segment)
+        if dtype_name != "float64":
+            value = value.astype(dtype_name)
         value.setflags(write=False)
-        cache.put(segment, context, value)
+        cache.put(segment, context, value, dtype_name)
         return value
 
     #: Backwards-compatible alias of :meth:`segment_features` (the method

@@ -14,6 +14,9 @@ from .layers import Linear, Sequential
 from .losses import bce_loss, kld_loss, mse_loss
 from .module import Module, Parameter
 from .optim import SGD, Adam, Optimizer, clip_grad_norm
+from .precision import (VALID_DTYPES, active_dtype, active_dtype_name,
+                        clear_weight_views, inference_dtype, inference_param,
+                        weight_view, weight_view_stats)
 from .rnn import (BiLSTMLayer, GRU, GRUCell, LSTM, LSTMCell, LSTMDecoder,
                   StackedBiLSTM, sequence_mask)
 from .serialization import load_module, module_path, save_module
@@ -27,6 +30,9 @@ __all__ = [
     "LSTMDecoder", "sequence_mask",
     "lstm_sequence", "gru_sequence", "lstm_decode",
     "use_fused", "fused_enabled",
+    "inference_dtype", "active_dtype", "active_dtype_name", "VALID_DTYPES",
+    "weight_view", "inference_param", "weight_view_stats",
+    "clear_weight_views",
     "SelfAttentionAggregator", "masked_softmax",
     "mse_loss", "kld_loss", "bce_loss",
     "Optimizer", "SGD", "Adam", "clip_grad_norm",

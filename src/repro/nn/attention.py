@@ -11,7 +11,7 @@ import numpy as np
 
 from .layers import Linear
 from .module import Module
-from .tensor import Tensor, is_grad_enabled
+from .tensor import Tensor
 
 __all__ = ["SelfAttentionAggregator", "masked_softmax"]
 
@@ -26,7 +26,10 @@ def masked_softmax(scores: Tensor, mask: np.ndarray | None, axis: int = -1
     large negative additive bias before the softmax.
     """
     if mask is not None:
-        scores = scores + (1.0 - mask) * _NEG_INF
+        bias = (1.0 - mask) * _NEG_INF
+        if isinstance(bias, np.ndarray) and bias.dtype != scores.data.dtype:
+            bias = bias.astype(scores.data.dtype)
+        scores = scores + bias
     return scores.softmax(axis=axis)
 
 
@@ -58,9 +61,10 @@ class SelfAttentionAggregator(Module):
             raise ValueError(
                 f"expected hidden size {self.hidden_size}, got {hidden}")
         from .fused import attention_pool, fused_enabled
-        if fused_enabled() and is_grad_enabled():
+        if fused_enabled():
             # One tape node for the whole aggregation; bit-identical
-            # values (see :func:`repro.nn.fused.attention_pool`).
+            # values (see :func:`repro.nn.fused.attention_pool`) and
+            # dtype-aware on the inference branch.
             return attention_pool(
                 outputs, last_hidden,
                 self.query.weight, self.query.bias,

@@ -50,6 +50,7 @@ import threading
 
 import numpy as np
 
+from .precision import active_dtype, weight_view
 from .tensor import Tensor, is_grad_enabled
 
 try:  # pragma: no cover - numpy-internal fast path
@@ -107,7 +108,8 @@ def _sigmoid_into(pre: np.ndarray, out: np.ndarray) -> np.ndarray:
     return out
 
 
-def _masks(lengths: np.ndarray | None, steps: int
+def _masks(lengths: np.ndarray | None, steps: int,
+           dtype: np.dtype = np.float64
            ) -> tuple[np.ndarray | None, np.ndarray | None,
                       np.ndarray | None]:
     """``(keep, drop, full)`` for a padded batch.
@@ -126,12 +128,26 @@ def _masks(lengths: np.ndarray | None, steps: int
     full = keep2d.all(axis=0)
     if full.all():
         return None, None, None
+    if keep2d.dtype != dtype:
+        keep2d = keep2d.astype(dtype)
     keep = keep2d[:, :, None]
     return keep, 1.0 - keep, full
 
 
 def _needs_grad(*tensors: Tensor) -> bool:
     return is_grad_enabled() and any(t.requires_grad for t in tensors)
+
+
+def _compute_dtype(record: bool) -> np.dtype:
+    """The dtype a kernel invocation computes in.
+
+    Recording (training) invocations are pinned to float64 — the hand-
+    derived backwards and the gradient tests depend on it — while
+    inference invocations follow the active precision policy.  With the
+    default float64 policy this is byte-identical to the pre-precision
+    kernels on both branches.
+    """
+    return np.dtype(np.float64) if record else active_dtype()
 
 
 # ----------------------------------------------------------------------
@@ -153,11 +169,15 @@ def lstm_sequence(x: Tensor, w_ih: Tensor, w_hh: Tensor, bias: Tensor,
     when ``reverse=True``).  All three are differentiable views of a
     single fused graph node.
     """
-    xd = x.data
-    wi, wh, b = w_ih.data, w_hh.data, bias.data
+    record = _needs_grad(x, w_ih, w_hh, bias)
+    cdt = _compute_dtype(record)
+    xd = np.asarray(x.data, dtype=cdt)
+    wi = weight_view(w_ih, cdt)
+    wh = weight_view(w_hh, cdt)
+    b = weight_view(bias, cdt)
     batch, steps, features = xd.shape
     n = wh.shape[0]
-    keep_m, drop_m, full_t = _masks(lengths, steps)
+    keep_m, drop_m, full_t = _masks(lengths, steps, cdt)
     # Hoisted input GEMM — identical to LSTMCell.input_projection (a GEMM
     # computes each output row independently, so transposing to
     # time-major first permutes rows without changing a single bit).
@@ -165,23 +185,22 @@ def lstm_sequence(x: Tensor, w_ih: Tensor, w_hh: Tensor, bias: Tensor,
     x_proj = (xT.reshape(steps * batch, features) @ wi).reshape(
         steps, batch, 4 * n)
     ts = list(range(steps - 1, -1, -1) if reverse else range(steps))
-    record = _needs_grad(x, w_ih, w_hh, bias)
 
     # Time-major state buffers keep every per-step ufunc contiguous; the
     # batch-major node buffer is materialized once at the end.  Every
     # step writes its slab, so only c_0 needs zeroing.
-    hs = np.empty((steps, batch, n))              # hs[t] = h_t
-    c_states = np.empty((steps + 1, batch, n))    # c before each step
+    hs = np.empty((steps, batch, n), dtype=cdt)            # hs[t] = h_t
+    c_states = np.empty((steps + 1, batch, n), dtype=cdt)  # c pre-step
     c_states[0] = 0.0
-    gate_buf = np.empty((batch, 4 * n))
-    scratch = np.empty((batch, n))
+    gate_buf = np.empty((batch, 4 * n), dtype=cdt)
+    scratch = np.empty((batch, n), dtype=cdt)
     if record:
         acts = np.empty((steps, batch, 4 * n))    # i, f, g, o
         tanh_c = np.empty((steps, batch, n))      # tanh of pre-mask c̃
     else:
-        act_slab = np.empty((batch, 4 * n))
-        tc_slab = np.empty((batch, n))
-    zero_h = np.zeros((batch, n))
+        act_slab = np.empty((batch, 4 * n), dtype=cdt)
+        tc_slab = np.empty((batch, n), dtype=cdt)
+    zero_h = np.zeros((batch, n), dtype=cdt)
     h_prev = zero_h
     for k, t in enumerate(ts):
         c_prev = c_states[k]
@@ -215,7 +234,7 @@ def lstm_sequence(x: Tensor, w_ih: Tensor, w_hh: Tensor, bias: Tensor,
 
     # packed[:, t] = h_t for t < T, packed[:, T] = final cell state: one
     # buffer means one tape node feeding outputs, h_last and c_last.
-    packed = np.empty((batch, steps + 1, n))
+    packed = np.empty((batch, steps + 1, n), dtype=cdt)
     packed[:, :steps, :] = hs.transpose(1, 0, 2)
     packed[:, steps, :] = c_states[steps]
 
@@ -314,30 +333,33 @@ def gru_sequence(x: Tensor, w_ih: Tensor, w_hh: Tensor, b_ih: Tensor,
     Gate layout matches :class:`~repro.nn.rnn.GRUCell`:
     ``[reset, update, new]``.  Returns ``(outputs, h_last)``.
     """
-    xd = x.data
-    wi, wh = w_ih.data, w_hh.data
-    bi, bh = b_ih.data, b_hh.data
+    record = _needs_grad(x, w_ih, w_hh, b_ih, b_hh)
+    cdt = _compute_dtype(record)
+    xd = np.asarray(x.data, dtype=cdt)
+    wi = weight_view(w_ih, cdt)
+    wh = weight_view(w_hh, cdt)
+    bi = weight_view(b_ih, cdt)
+    bh = weight_view(b_hh, cdt)
     batch, steps, features = xd.shape
     n = wh.shape[0]
-    keep_m, drop_m, full_t = _masks(lengths, steps)
+    keep_m, drop_m, full_t = _masks(lengths, steps, cdt)
     # Hoisted input GEMM + bias — identical to GRUCell.input_projection
     # (time-major row permutation; a GEMM computes rows independently).
     xT = np.ascontiguousarray(xd.transpose(1, 0, 2))   # (T, B, F)
     gi_all = (xT.reshape(steps * batch, features) @ wi + bi).reshape(
         steps, batch, 3 * n)
     ts = list(range(steps - 1, -1, -1) if reverse else range(steps))
-    record = _needs_grad(x, w_ih, w_hh, b_ih, b_hh)
 
-    hs = np.empty((steps, batch, n))              # hs[t] = h_t, time-major
-    gh_buf = np.empty((batch, 3 * n))
-    rz_pre = np.empty((batch, 2 * n))
-    scratch = np.empty((batch, n))
+    hs = np.empty((steps, batch, n), dtype=cdt)   # hs[t] = h_t, time-major
+    gh_buf = np.empty((batch, 3 * n), dtype=cdt)
+    rz_pre = np.empty((batch, 2 * n), dtype=cdt)
+    scratch = np.empty((batch, n), dtype=cdt)
     if record:
         acts = np.empty((steps, batch, 3 * n))    # r, z, n̂
         gh_new = np.empty((steps, batch, n))      # recurrent candidate in
     else:
-        act_slab = np.empty((batch, 3 * n))
-    zero_h = np.zeros((batch, n))
+        act_slab = np.empty((batch, 3 * n), dtype=cdt)
+    zero_h = np.zeros((batch, n), dtype=cdt)
     h_prev = zero_h
     for k, t in enumerate(ts):
         h = hs[t]
@@ -456,26 +478,29 @@ def lstm_decode(v: Tensor, w_ih: Tensor, w_hh: Tensor, bias: Tensor,
     per-step gate gradients pushed through ``w_ih`` — one GEMM each way.
     Returns the hidden-state scaffold ``(B, steps, H)``.
     """
-    vd = v.data
-    wi, wh, b = w_ih.data, w_hh.data, bias.data
+    record = _needs_grad(v, w_ih, w_hh, bias)
+    cdt = _compute_dtype(record)
+    vd = np.asarray(v.data, dtype=cdt)
+    wi = weight_view(w_ih, cdt)
+    wh = weight_view(w_hh, cdt)
+    b = weight_view(bias, cdt)
     batch = vd.shape[0]
     n = wh.shape[0]
-    keep_m, drop_m, full_t = _masks(lengths, steps)
+    keep_m, drop_m, full_t = _masks(lengths, steps, cdt)
     v_proj = vd @ wi                       # one projection for all steps
-    record = _needs_grad(v, w_ih, w_hh, bias)
 
-    hs = np.empty((steps, batch, n))       # hs[t] = h_t, time-major
-    c_states = np.empty((steps + 1, batch, n))
+    hs = np.empty((steps, batch, n), dtype=cdt)  # hs[t] = h_t, time-major
+    c_states = np.empty((steps + 1, batch, n), dtype=cdt)
     c_states[0] = 0.0
-    gate_buf = np.empty((batch, 4 * n))
-    scratch = np.empty((batch, n))
+    gate_buf = np.empty((batch, 4 * n), dtype=cdt)
+    scratch = np.empty((batch, n), dtype=cdt)
     if record:
         acts = np.empty((steps, batch, 4 * n))
         tanh_c = np.empty((steps, batch, n))
     else:
-        act_slab = np.empty((batch, 4 * n))
-        tc_slab = np.empty((batch, n))
-    zero_h = np.zeros((batch, n))
+        act_slab = np.empty((batch, 4 * n), dtype=cdt)
+        tc_slab = np.empty((batch, n), dtype=cdt)
+    zero_h = np.zeros((batch, n), dtype=cdt)
     h_prev = zero_h
     for t in range(steps):
         c_prev = c_states[t]
@@ -593,7 +618,10 @@ def affine(x: Tensor, weight: Tensor, bias: Tensor) -> Tensor:
     are computed independently, and ``out += b`` produces the same
     elementwise sums as the tape's broadcast add).
     """
-    xd, wd, bd = x.data, weight.data, bias.data
+    cdt = _compute_dtype(_needs_grad(x, weight, bias))
+    xd = np.asarray(x.data, dtype=cdt)
+    wd = weight_view(weight, cdt)
+    bd = weight_view(bias, cdt)
     out_f = wd.shape[1]
     flat_x = xd.reshape(-1, xd.shape[-1])
     out = flat_x @ wd
@@ -622,12 +650,13 @@ def mlp_head(x: Tensor, w1: Tensor, b1: Tensor,
     bit-identical to the tape chain for the same reasons as
     :func:`affine`, and ``np.tanh`` is the tape's own nonlinearity.
     """
-    xd = x.data
+    cdt = _compute_dtype(_needs_grad(x, w1, b1, w2, b2))
+    xd = np.asarray(x.data, dtype=cdt)
     flat_x = xd.reshape(-1, xd.shape[-1])
-    hidden = flat_x @ w1.data
-    hidden += b1.data                          # cached for backward
-    out = hidden @ w2.data
-    out += b2.data
+    hidden = flat_x @ weight_view(w1, cdt)
+    hidden += weight_view(b1, cdt)             # cached for backward
+    out = hidden @ weight_view(w2, cdt)
+    out += weight_view(b2, cdt)
     np.tanh(out, out=out)
     out_f = w2.data.shape[1]
     out = out.reshape(xd.shape[:-1] + (out_f,))
@@ -669,21 +698,25 @@ def attention_pool(outputs: Tensor, last_hidden: Tensor,
     so fused outputs are bit-identical.  Backward is the hand-derived
     chain with both Linear gradients as flat GEMMs.
     """
-    hd = outputs.data                      # (B, T, n)
-    hld = last_hidden.data                 # (B, n)
+    cdt = _compute_dtype(_needs_grad(outputs, last_hidden, w_query,
+                                     b_query, w_key, b_key))
+    hd = np.asarray(outputs.data, dtype=cdt)   # (B, T, n)
+    hld = np.asarray(last_hidden.data, dtype=cdt)  # (B, n)
     batch, steps, n = hd.shape
     scale = 1.0 / np.sqrt(n)
 
-    q = hld @ w_query.data                 # (B, n)
-    q += b_query.data
+    q = hld @ weight_view(w_query, cdt)    # (B, n)
+    q += weight_view(b_query, cdt)
     flat_h = hd.reshape(batch * steps, n)
-    k = (flat_h @ w_key.data).reshape(batch, steps, n)
-    k += b_key.data
+    k = (flat_h @ weight_view(w_key, cdt)).reshape(batch, steps, n)
+    k += weight_view(b_key, cdt)
     scores = (k * q[:, None, :]).sum(axis=2)
     scores *= scale                        # (B, T)
     if lengths is not None:
         from .rnn import sequence_mask
         mask = sequence_mask(np.asarray(lengths), steps)
+        if mask.dtype != cdt:
+            mask = mask.astype(cdt)
         scores += (1.0 - mask) * neg_inf
     # Softmax over timesteps, replaying Tensor.softmax's op order.
     shifted = scores - scores.max(axis=1, keepdims=True)

@@ -6,7 +6,8 @@ import numpy as np
 
 from .init import xavier_uniform
 from .module import Module, Parameter
-from .tensor import Tensor, is_grad_enabled
+from .precision import inference_param
+from .tensor import Tensor
 
 __all__ = ["Linear", "Sequential"]
 
@@ -32,11 +33,13 @@ class Linear(Module):
             raise ValueError(
                 f"expected last axis {self.in_features}, got {x.shape}")
         from .fused import affine, fused_enabled
-        if fused_enabled() and is_grad_enabled():
+        if fused_enabled():
             # One tape node instead of two; bit-identical values (see
-            # :func:`repro.nn.fused.affine`).
+            # :func:`repro.nn.fused.affine`) and dtype-aware on the
+            # inference branch.
             return affine(x, self.weight, self.bias)
-        return x @ self.weight + self.bias
+        return (x @ inference_param(self.weight)
+                + inference_param(self.bias))
 
 
 class Sequential(Module):

@@ -19,6 +19,11 @@ class Parameter(Tensor):
         # Parameters must stay trainable even when constructed inside a
         # ``no_grad`` block (e.g. when loading a model for fine-tuning).
         self.requires_grad = True
+        # Mutation counter for the precision weight-view cache:
+        # optimizers update ``data`` *in place*, so cached reduced-
+        # precision casts cannot be invalidated by array identity alone.
+        # Every in-place update must bump this.
+        self.version = 0
 
 
 class Module:
@@ -115,6 +120,7 @@ class Module:
                     f"shape mismatch for {name}: "
                     f"{value.shape} vs {parameter.data.shape}")
             parameter.data = value.copy()
+            parameter.version = getattr(parameter, "version", 0) + 1
 
     # ------------------------------------------------------------------
     def __call__(self, *args: object, **kwargs: object) -> object:

@@ -101,6 +101,8 @@ class SGD(Optimizer):
                 p.data -= self.lr * v
             else:
                 p.data -= self.lr * p.grad
+            # In-place update: invalidate cached precision weight views.
+            p.version = getattr(p, "version", 0) + 1
 
     def state_dict(self) -> dict[str, object]:
         return {"scalars": {"lr": self.lr, "momentum": self.momentum},
@@ -172,6 +174,8 @@ class Adam(Optimizer):
             np.divide(m, buf, out=buf)
             buf *= step_size
             p.data -= buf
+            # In-place update: invalidate cached precision weight views.
+            p.version = getattr(p, "version", 0) + 1
 
     def state_dict(self) -> dict[str, object]:
         return {

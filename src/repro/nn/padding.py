@@ -15,17 +15,27 @@ def pad_sequences(sequences: Sequence[np.ndarray]
 
     Given ``k`` arrays of shape ``(L_i, F)``, returns a ``(k, max L, F)``
     batch (zero padded) and the ``(k,)`` integer length vector.
+
+    The batch dtype is float32 only when *every* sequence is float32
+    (dtype-cast inference features); any other mix keeps the historical
+    float64 coercion.
     """
-    sequences = [np.asarray(s, dtype=np.float64) for s in sequences]
+    sequences = [np.asarray(s) for s in sequences]
     if not sequences:
         raise ValueError("pad_sequences needs at least one sequence")
+    if all(s.dtype == np.float32 for s in sequences):
+        dtype = np.dtype(np.float32)
+    else:
+        dtype = np.dtype(np.float64)
+        sequences = [np.asarray(s, dtype=dtype) for s in sequences]
     feature_dim = sequences[0].shape[1]
     if any(s.ndim != 2 or s.shape[1] != feature_dim for s in sequences):
         raise ValueError("all sequences must be (L_i, F) with equal F")
     lengths = np.array([len(s) for s in sequences], dtype=np.int64)
     if (lengths == 0).any():
         raise ValueError("empty sequences cannot be padded")
-    batch = np.zeros((len(sequences), int(lengths.max()), feature_dim))
+    batch = np.zeros((len(sequences), int(lengths.max()), feature_dim),
+                     dtype=dtype)
     for i, s in enumerate(sequences):
         batch[i, :len(s)] = s
     return batch, lengths

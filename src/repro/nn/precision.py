@@ -1,0 +1,170 @@
+"""Inference precision policy — dtype as a threaded-through parameter.
+
+The numeric substrate trains in float64 (gradient checks and the
+reproduction's equivalence gates depend on it), but inference is a
+thresholded argmax over reconstruction-error softmaxes and tolerates
+reduced precision.  This module makes the compute dtype an explicit,
+per-thread policy instead of a hard-coded constant:
+
+* :func:`inference_dtype` — a context manager mirroring the
+  ``use_fused``/``fused_enabled`` threading.local pattern.  Inside
+  ``inference_dtype("float32")`` the fused kernels and the legacy tape
+  path run their *inference* branches in float32; training is untouched
+  because float32 is only ever applied while gradients are disabled.
+* :func:`weight_view` — one-time-cast float32 views of float64 master
+  weights, cached per parameter and invalidated when the parameter
+  mutates.  Optimizers update ``p.data`` **in place**, so invalidation
+  cannot rely on array identity alone: every
+  :class:`~repro.nn.module.Parameter` carries a ``version`` counter that
+  optimizer steps bump, and a cached view is only served while both the
+  backing array object and the version match.
+
+Master weights always stay float64 — ``state_dict`` never sees a cast
+view, so checkpoints written under an active float32 context are
+byte-identical to ones written outside it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from .tensor import Tensor, is_grad_enabled
+
+__all__ = ["VALID_DTYPES", "inference_dtype", "active_dtype",
+           "active_dtype_name", "weight_view", "inference_param",
+           "compute_dtype_for", "weight_view_stats", "clear_weight_views"]
+
+#: The dtype names a precision context accepts.  Policy strings on the
+#: public config surface additionally allow ``"auto"``, which resolves
+#: to one of these after the parity gate runs.
+VALID_DTYPES = ("float64", "float32")
+
+_DTYPES = {"float64": np.dtype(np.float64),
+           "float32": np.dtype(np.float32)}
+
+#: Per-thread precision policy.  Like autograd mode and fusion, the
+#: policy lives in ``threading.local`` storage so a detection worker
+#: running float32 never changes the dtype observed by a concurrently
+#: training thread.  Each thread starts in float64.
+_PRECISION_STATE = threading.local()
+
+
+def active_dtype_name() -> str:
+    """Name of this thread's inference dtype (``"float64"`` default)."""
+    return getattr(_PRECISION_STATE, "dtype_name", "float64")
+
+
+def active_dtype() -> np.dtype:
+    """This thread's inference dtype as a numpy dtype object."""
+    return _DTYPES[active_dtype_name()]
+
+
+@contextlib.contextmanager
+def inference_dtype(name: str):
+    """Run the enclosed block under the given inference dtype.
+
+    Only affects code paths that already run without gradients; the
+    training tape records float64 regardless of the active context, so
+    entering ``inference_dtype("float32")`` around a training step is a
+    no-op rather than a silent precision downgrade.
+    """
+    if name not in _DTYPES:
+        raise ValueError(
+            f"unknown inference dtype {name!r}; expected one of "
+            f"{VALID_DTYPES}")
+    previous = active_dtype_name()
+    _PRECISION_STATE.dtype_name = name
+    try:
+        yield
+    finally:
+        _PRECISION_STATE.dtype_name = previous
+
+
+def compute_dtype_for(*arrays: np.ndarray) -> np.dtype:
+    """The dtype inference kernels should compute in for these inputs.
+
+    float32 is used only when the active policy asks for it; otherwise
+    the kernels keep their historical float64 buffers even when handed
+    float32 inputs (nothing upstream produces them in that case).
+    """
+    if active_dtype_name() == "float32":
+        return _DTYPES["float32"]
+    return _DTYPES["float64"]
+
+
+# ----------------------------------------------------------------------
+# Weight-view cache
+# ----------------------------------------------------------------------
+#: ``id(tensor) -> (tensor, source_array, version, cast_view)``.  The
+#: entry holds a strong reference to the tensor, so its ``id`` cannot be
+#: recycled while the entry lives; bounded LRU keeps transient tensors
+#: from pinning memory forever.
+_VIEW_CACHE: OrderedDict[int, tuple[Tensor, np.ndarray, int, np.ndarray]] \
+    = OrderedDict()
+_VIEW_CACHE_MAX = 1024
+_VIEW_STATS = {"hits": 0, "misses": 0, "invalidations": 0}
+
+
+def weight_view(tensor: Tensor, dtype: np.dtype | None = None) -> np.ndarray:
+    """A cached cast of ``tensor.data`` in the requested dtype.
+
+    Returns ``tensor.data`` itself when it already has the requested
+    dtype.  A cached cast is served only while the backing array is the
+    *same object* (``load_state_dict`` rebinds ``data``) **and** the
+    tensor's ``version`` counter is unchanged (optimizers mutate the
+    array in place and bump the counter) — either mutation path drops
+    the stale view.
+    """
+    if dtype is None:
+        dtype = active_dtype()
+    data = tensor.data
+    if data.dtype == dtype:
+        return data
+    key = id(tensor)
+    version = getattr(tensor, "version", 0)
+    entry = _VIEW_CACHE.get(key)
+    if entry is not None:
+        if (entry[0] is tensor and entry[1] is data
+                and entry[2] == version and entry[3].dtype == dtype):
+            _VIEW_CACHE.move_to_end(key)
+            _VIEW_STATS["hits"] += 1
+            return entry[3]
+        _VIEW_STATS["invalidations"] += 1
+    _VIEW_STATS["misses"] += 1
+    view = np.asarray(data, dtype=dtype)
+    view.setflags(write=False)
+    _VIEW_CACHE[key] = (tensor, data, version, view)
+    while len(_VIEW_CACHE) > _VIEW_CACHE_MAX:
+        _VIEW_CACHE.popitem(last=False)
+    return view
+
+
+def inference_param(tensor: Tensor) -> Tensor:
+    """The tensor to use for a parameter on the legacy tape path.
+
+    Under an active float32 policy *with gradients disabled*, returns a
+    detached tensor wrapping the cached float32 weight view; in every
+    other situation — training, or a float64 policy — returns the
+    parameter itself, keeping those paths byte-identical to the
+    pre-precision code.
+    """
+    if active_dtype_name() == "float64" or is_grad_enabled():
+        return tensor
+    return Tensor(weight_view(tensor))
+
+
+def weight_view_stats() -> dict[str, int]:
+    """Hit/miss/invalidation counters plus the current entry count."""
+    stats = dict(_VIEW_STATS)
+    stats["entries"] = len(_VIEW_CACHE)
+    return stats
+
+
+def clear_weight_views() -> None:
+    """Drop every cached view (tests and cold benches)."""
+    _VIEW_CACHE.clear()
+    _VIEW_STATS.update(hits=0, misses=0, invalidations=0)

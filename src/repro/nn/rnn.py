@@ -37,6 +37,7 @@ from .fused import fused_enabled, gru_sequence, lstm_decode, lstm_sequence
 from .init import orthogonal, xavier_uniform
 from .layers import Linear
 from .module import Module, Parameter
+from .precision import inference_param
 from .tensor import Tensor, concat, stack
 
 __all__ = [
@@ -81,16 +82,17 @@ class LSTMCell(Module):
         """
         batch, steps, features = x.shape
         flat = x.reshape(batch * steps, features)
-        return (flat @ self.w_ih).reshape(batch, steps,
-                                          4 * self.hidden_size)
+        return (flat @ inference_param(self.w_ih)).reshape(
+            batch, steps, 4 * self.hidden_size)
 
     def forward(self, x: Tensor | None, h: Tensor, c: Tensor,
                 mask: np.ndarray | None = None,
                 x_proj: Tensor | None = None) -> tuple[Tensor, Tensor]:
         n = self.hidden_size
         if x_proj is None:
-            x_proj = x @ self.w_ih
-        gates = x_proj + h @ self.w_hh + self.bias
+            x_proj = x @ inference_param(self.w_ih)
+        gates = (x_proj + h @ inference_param(self.w_hh)
+                 + inference_param(self.bias))
         i = gates[:, 0 * n:1 * n].sigmoid()
         f = gates[:, 1 * n:2 * n].sigmoid()
         g = gates[:, 2 * n:3 * n].tanh()
@@ -99,6 +101,8 @@ class LSTMCell(Module):
         h_new = o * c_new.tanh()
         if mask is not None:
             keep = mask.reshape(-1, 1)
+            if keep.dtype != h_new.data.dtype:
+                keep = keep.astype(h_new.data.dtype)
             h_new = h_new * keep + h * (1.0 - keep)
             c_new = c_new * keep + c * (1.0 - keep)
         return h_new, c_new
@@ -127,21 +131,25 @@ class GRUCell(Module):
         """Hoisted ``(B·T, F) @ (F, 3H)`` input projection (bias included)."""
         batch, steps, features = x.shape
         flat = x.reshape(batch * steps, features)
-        return (flat @ self.w_ih + self.b_ih).reshape(
+        return (flat @ inference_param(self.w_ih)
+                + inference_param(self.b_ih)).reshape(
             batch, steps, 3 * self.hidden_size)
 
     def forward(self, x: Tensor | None, h: Tensor,
                 mask: np.ndarray | None = None,
                 x_proj: Tensor | None = None) -> Tensor:
         n = self.hidden_size
-        gi = x @ self.w_ih + self.b_ih if x_proj is None else x_proj
-        gh = h @ self.w_hh + self.b_hh
+        gi = (x @ inference_param(self.w_ih) + inference_param(self.b_ih)
+              if x_proj is None else x_proj)
+        gh = h @ inference_param(self.w_hh) + inference_param(self.b_hh)
         r = (gi[:, 0 * n:1 * n] + gh[:, 0 * n:1 * n]).sigmoid()
         z = (gi[:, 1 * n:2 * n] + gh[:, 1 * n:2 * n]).sigmoid()
         candidate = (gi[:, 2 * n:3 * n] + r * gh[:, 2 * n:3 * n]).tanh()
         h_new = (1.0 - z) * candidate + z * h
         if mask is not None:
             keep = mask.reshape(-1, 1)
+            if keep.dtype != h_new.data.dtype:
+                keep = keep.astype(h_new.data.dtype)
             h_new = h_new * keep + h * (1.0 - keep)
         return h_new
 
@@ -154,8 +162,9 @@ class _Recurrent(Module):
         self.hidden_size = hidden_size
         self.reverse = reverse
 
-    def _zero_state(self, batch: int) -> Tensor:
-        return Tensor(np.zeros((batch, self.hidden_size)))
+    def _zero_state(self, batch: int,
+                    dtype: np.dtype = np.float64) -> Tensor:
+        return Tensor(np.zeros((batch, self.hidden_size), dtype=dtype))
 
     def _time_order(self, steps: int) -> range:
         return range(steps - 1, -1, -1) if self.reverse else range(steps)
@@ -184,8 +193,8 @@ class LSTM(_Recurrent):
             return outputs, (h, c)
         batch, steps, _ = x.shape
         mask = None if lengths is None else sequence_mask(lengths, steps)
-        h = self._zero_state(batch)
-        c = self._zero_state(batch)
+        h = self._zero_state(batch, dtype=x.data.dtype)
+        c = self._zero_state(batch, dtype=x.data.dtype)
         x_proj = self.cell.input_projection(x)  # one GEMM for all steps
         outputs: list[Tensor] = [None] * steps  # type: ignore[list-item]
         for t in self._time_order(steps):
@@ -213,7 +222,7 @@ class GRU(_Recurrent):
                 self.cell.b_hh, lengths=lengths, reverse=self.reverse)
         batch, steps, _ = x.shape
         mask = None if lengths is None else sequence_mask(lengths, steps)
-        h = self._zero_state(batch)
+        h = self._zero_state(batch, dtype=x.data.dtype)
         x_proj = self.cell.input_projection(x)  # one GEMM for all steps
         outputs: list[Tensor] = [None] * steps  # type: ignore[list-item]
         for t in self._time_order(steps):
@@ -283,11 +292,13 @@ class LSTMDecoder(Module):
                                self.cell.bias, steps, lengths=lengths)
         batch = v.shape[0]
         mask = None if lengths is None else sequence_mask(lengths, steps)
-        h = Tensor(np.zeros((batch, self.hidden_size)))
-        c = Tensor(np.zeros((batch, self.hidden_size)))
+        h = Tensor(np.zeros((batch, self.hidden_size),
+                            dtype=v.data.dtype))
+        c = Tensor(np.zeros((batch, self.hidden_size),
+                            dtype=v.data.dtype))
         # The input is the same vector at every step: project it once and
         # reuse the result for all ``steps`` iterations.
-        v_proj = v @ self.cell.w_ih
+        v_proj = v @ inference_param(self.cell.w_ih)
         outputs: list[Tensor] = []
         for t in range(steps):
             step_mask = None if mask is None else mask[:, t]

@@ -79,7 +79,10 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
 def _as_array(value: "Tensor | np.ndarray | float | int") -> np.ndarray:
     if isinstance(value, Tensor):
         return value.data
-    return np.asarray(value, dtype=np.float64)
+    arr = np.asarray(value)
+    if arr.dtype != np.float32:
+        arr = np.asarray(arr, dtype=np.float64)
+    return arr
 
 
 def _is_basic_index(key: object) -> bool:
@@ -107,7 +110,14 @@ class Tensor:
         data: np.ndarray | Sequence[float] | float,
         requires_grad: bool = False,
     ) -> None:
-        self.data = np.asarray(data, dtype=np.float64)
+        # float64 is the master dtype; float32 arrays pass through
+        # untouched so reduced-precision inference flows stay float32
+        # end-to-end.  Everything else (lists, ints, float16, ...) is
+        # coerced to float64 exactly as before.
+        arr = np.asarray(data)
+        if arr.dtype != np.float32:
+            arr = np.asarray(arr, dtype=np.float64)
+        self.data = arr
         self.requires_grad = (bool(requires_grad)
                               and getattr(_GRAD_STATE, "enabled", True))
         self.grad: np.ndarray | None = None
@@ -222,8 +232,23 @@ class Tensor:
     # ------------------------------------------------------------------
     # Arithmetic
     # ------------------------------------------------------------------
+    def _coerce(self, other: "Tensor | float") -> "Tensor":
+        """Wrap a non-Tensor operand, matching our dtype for scalars.
+
+        NEP 50 treats 0-d float64 *arrays* as strong: wrapping a python
+        scalar into ``Tensor(other)`` (a float64 0-d array) would
+        silently promote a float32 operand back to float64.  Scalars are
+        therefore wrapped in the operand's own dtype — byte-identical
+        for float64, dtype-preserving for float32 inference flows.
+        """
+        if isinstance(other, Tensor):
+            return other
+        if isinstance(other, (int, float, np.integer, np.floating)):
+            return Tensor(np.asarray(other, dtype=self.data.dtype))
+        return Tensor(other)
+
     def __add__(self, other: "Tensor | float") -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        other_t = self._coerce(other)
         out_data = self.data + other_t.data
 
         def backward(grad: np.ndarray) -> None:
@@ -244,7 +269,7 @@ class Tensor:
         return Tensor._make(-self.data, (self,), backward)
 
     def __sub__(self, other: "Tensor | float") -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        other_t = self._coerce(other)
         out_data = self.data - other_t.data
 
         def backward(grad: np.ndarray) -> None:
@@ -256,10 +281,10 @@ class Tensor:
         return Tensor._make(out_data, (self, other_t), backward)
 
     def __rsub__(self, other: float) -> "Tensor":
-        return Tensor(other) - self
+        return self._coerce(other) - self
 
     def __mul__(self, other: "Tensor | float") -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        other_t = self._coerce(other)
         out_data = self.data * other_t.data
 
         def backward(grad: np.ndarray) -> None:
@@ -273,7 +298,7 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other: "Tensor | float") -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        other_t = self._coerce(other)
         out_data = self.data / other_t.data
 
         def backward(grad: np.ndarray) -> None:
@@ -286,7 +311,7 @@ class Tensor:
         return Tensor._make(out_data, (self, other_t), backward)
 
     def __rtruediv__(self, other: float) -> "Tensor":
-        return Tensor(other) / self
+        return self._coerce(other) / self
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not np.isscalar(exponent):
@@ -301,7 +326,7 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
     def __matmul__(self, other: "Tensor") -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        other_t = self._coerce(other)
         out_data = self.data @ other_t.data
 
         def backward(grad: np.ndarray) -> None:

@@ -39,13 +39,16 @@ from typing import Callable
 
 import numpy as np
 
+from ..nn.precision import inference_dtype as nn_inference_dtype
+
 __all__ = ["run_bench", "run_stream_bench", "compare_to_baseline",
            "format_bench_table", "format_stream_bench_table",
            "GATED_METRICS", "STREAM_GATED_METRICS"]
 
 #: Throughput metrics (higher is better) covered by the CI gate.
 GATED_METRICS = ("encode_single_tps", "encode_batch_tps",
-                 "detect_single_tps", "detect_batch_tps",
+                 "encode_batch_f32_tps", "detect_single_tps",
+                 "detect_batch_tps", "detect_batch_f32_tps",
                  "train_steps_fused_sps", "preprocess_extract_tps",
                  "preprocess_filter_tps", "preprocess_poi_pps")
 
@@ -57,6 +60,37 @@ STREAM_GATED_METRICS = ("stream_ingest_pps", "stream_ingest_batch_pps",
 #: Candidates used for the training throughput measurement (keeps the
 #: default-scale bench to a few seconds; tiny scales have fewer anyway).
 _TRAIN_BENCH_CANDIDATES = 256
+
+
+def _blas_vendor() -> str:
+    """Best-effort BLAS vendor/version out of numpy's build metadata.
+
+    Bench numbers are only comparable across machines when the GEMM
+    backend is the same; recording the vendor next to the numbers makes
+    an OpenBLAS-vs-MKL (or netlib fallback) delta diagnosable from the
+    JSON alone.
+    """
+    try:
+        info = np.show_config(mode="dicts")
+        blas = (info.get("Build Dependencies") or {}).get("blas") or {}
+        name = blas.get("name") or "unknown"
+        version = blas.get("version")
+        return f"{name} {version}" if version else str(name)
+    except Exception:
+        return "unknown"
+
+
+def _environment() -> dict:
+    """The reproducibility block stamped into every bench payload."""
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "blas": _blas_vendor(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "omp_num_threads": os.environ.get("OMP_NUM_THREADS"),
+        "openblas_num_threads": os.environ.get("OPENBLAS_NUM_THREADS"),
+    }
 
 
 def _best_time(fn: Callable[[], object], repeats: int) -> float:
@@ -285,6 +319,32 @@ def run_bench(scale: str | None = None, repeats: int = 3,
     metrics["detect_batch_tps"] = n / batch_s
     metrics["detect_batch_speedup"] = single_s / batch_s
 
+    # -- float32 hot path ---------------------------------------------------
+    # The same batched entry points under an active float32 inference
+    # context; the *_f32_speedup ratios are against the float64 batched
+    # numbers above (same warm caches, same batch shapes).
+    with nn_inference_dtype("float32"):
+        encode_f32_s = _best_time(
+            lambda: lead.encode_candidates_batch(processed), repeats)
+        detect_f32_s = _best_time(
+            lambda: lead.detect_processed_batch(processed), repeats)
+    metrics["encode_batch_f32_tps"] = n / encode_f32_s
+    metrics["encode_batch_f32_speedup"] = (
+        metrics["encode_batch_f32_tps"] / metrics["encode_batch_tps"])
+    metrics["detect_batch_f32_tps"] = n / detect_f32_s
+    metrics["detect_batch_f32_speedup"] = (
+        metrics["detect_batch_f32_tps"] / metrics["detect_batch_tps"])
+
+    # -- float32 parity gate ------------------------------------------------
+    parity = lead.run_parity_gate(processed)
+    precision_parity = {
+        "verdict_agreement": parity["verdict_agreement"],
+        "max_abs_divergence": parity["max_abs_divergence"],
+        "margin": parity["margin"],
+        "num_calibration": parity["num_calibration"],
+        "passed": parity["passed"],
+    }
+
     # -- batched == unbatched ---------------------------------------------
     singles = [lead.predict_distribution(item) for item in processed]
     batched = lead.predict_distribution_batch(processed)
@@ -306,21 +366,19 @@ def run_bench(scale: str | None = None, repeats: int = 3,
 
     cache_stats = (lead.feature_cache.stats.as_dict()
                    if lead.feature_cache is not None else None)
+    if lead.feature_cache is not None:
+        cache_stats["dtype_keys"] = lead.feature_cache.dtype_key_counts()
     return {
         "schema": 1,
         "scale": config.name,
         "generated_unix": time.time(),
-        "environment": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-            "cpu_count": os.cpu_count(),
-        },
+        "environment": _environment(),
         "num_test_trajectories": n,
         "num_candidates": int(sum(p.num_candidates for p in processed)),
         "metrics": metrics,
         "equivalence": equivalence,
         "preprocess_equivalence": preprocess_equivalence,
+        "precision_parity": precision_parity,
         "feature_cache": cache_stats,
     }
 
@@ -447,6 +505,17 @@ def compare_to_baseline(current: dict, baseline: dict,
             "batched detection no longer matches per-trajectory results "
             f"(max abs diff "
             f"{current.get('equivalence', {}).get('max_abs_diff')})")
+    parity = current.get("precision_parity")
+    if parity is not None:
+        if parity.get("verdict_agreement") != 1.0:
+            failures.append(
+                "float32 inference verdicts diverged from float64 "
+                f"(agreement {parity.get('verdict_agreement')}, must be 1.0)")
+        if not parity.get("passed", False):
+            failures.append(
+                "float32 parity gate failed (max abs divergence "
+                f"{parity.get('max_abs_divergence')} vs margin "
+                f"{parity.get('margin')})")
     preprocess = current.get("preprocess_equivalence")
     if preprocess is not None:
         if not preprocess.get("spans_identical", False):
@@ -542,6 +611,8 @@ def run_stream_bench(scale: str | None = None, repeats: int = 3,
     metrics["stream_flush_sps"] = len(finals) / (time.perf_counter() - t0)
     cache_stats = (lead.feature_cache.stats.as_dict()
                    if lead.feature_cache is not None else None)
+    if lead.feature_cache is not None:
+        cache_stats["dtype_keys"] = lead.feature_cache.dtype_key_counts()
 
     # -- suffix-only refeaturization on the longest trajectory --------------
     sublinear = None
@@ -598,12 +669,7 @@ def run_stream_bench(scale: str | None = None, repeats: int = 3,
         "kind": "stream",
         "scale": config.name,
         "generated_unix": time.time(),
-        "environment": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-            "cpu_count": os.cpu_count(),
-        },
+        "environment": _environment(),
         "num_sessions": n_sessions,
         "num_pings": len(pings),
         "num_ticks": len(tick_walls),
@@ -656,6 +722,13 @@ def format_bench_table(payload: dict) -> str:
          f"{metrics['featurize_warm_s']:8.3f} s",
          f"{metrics['featurize_cache_speedup']:.0f}x"),
     ]
+    if "encode_batch_f32_tps" in metrics:
+        rows.insert(2, ("encode (batched, float32)",
+                        f"{metrics['encode_batch_f32_tps']:8.2f} traj/s",
+                        f"{metrics['encode_batch_f32_speedup']:.1f}x"))
+        rows.insert(5, ("detect (batched, float32)",
+                        f"{metrics['detect_batch_f32_tps']:8.2f} traj/s",
+                        f"{metrics['detect_batch_f32_speedup']:.1f}x"))
     if "preprocess_extract_tps" in metrics:
         rows.append(("stay points (legacy loop)",
                      f"{metrics['preprocess_extract_legacy_tps']:8.2f}"
@@ -694,6 +767,13 @@ def format_bench_table(payload: dict) -> str:
     eq = payload["equivalence"]
     lines.append(f"batched == unbatched: allclose(rtol={eq['rtol']:g}) -> "
                  f"{eq['allclose']} (max abs diff {eq['max_abs_diff']:.3g})")
+    parity = payload.get("precision_parity")
+    if parity:
+        lines.append(
+            f"float32 parity gate: agreement="
+            f"{parity['verdict_agreement']:.3f}  max divergence="
+            f"{parity['max_abs_divergence']:.3g} (margin "
+            f"{parity['margin']:g})  passed={parity['passed']}")
     pre = payload.get("preprocess_equivalence")
     if pre:
         lines.append(

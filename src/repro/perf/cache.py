@@ -196,7 +196,8 @@ class SegmentFeatureCache:
     def __len__(self) -> int:
         return len(self._lru)
 
-    def key_for(self, segment, context: bytes) -> tuple:
+    def key_for(self, segment, context: bytes,
+                dtype: str = "float64") -> tuple:
         """The cache key of one stay/move segment under a context.
 
         The trajectory contributes only the *slice* the segment covers:
@@ -206,17 +207,31 @@ class SegmentFeatureCache:
         fingerprint, but its closed segments carry identical slices at
         identical indices and keep hitting the same entries.  ``start``/
         ``end`` stay in the key because the subsampling grid is anchored
-        at absolute indices.
+        at absolute indices.  ``dtype`` names the *stored matrix* dtype:
+        float32 inference entries must never be served to a float64
+        caller (or vice versa), so each precision tier owns a disjoint
+        key space.
         """
         return (self._fingerprinter.fingerprint_slice(
                     segment.trajectory, segment.start, segment.end),
-                type(segment).__name__, segment.start, segment.end, context)
+                type(segment).__name__, segment.start, segment.end, context,
+                dtype)
 
-    def get(self, segment, context: bytes) -> np.ndarray | None:
-        return self._lru.get(self.key_for(segment, context))
+    def get(self, segment, context: bytes,
+            dtype: str = "float64") -> np.ndarray | None:
+        return self._lru.get(self.key_for(segment, context, dtype))
 
-    def put(self, segment, context: bytes, value: np.ndarray) -> None:
-        self._lru.put(self.key_for(segment, context), value)
+    def put(self, segment, context: bytes, value: np.ndarray,
+            dtype: str = "float64") -> None:
+        self._lru.put(self.key_for(segment, context, dtype), value)
+
+    def dtype_key_counts(self) -> dict[str, int]:
+        """Live entry count per dtype key component (introspection)."""
+        counts: dict[str, int] = {}
+        for key in self._lru._data:
+            name = key[-1]
+            counts[name] = counts.get(name, 0) + 1
+        return counts
 
     def clear(self) -> None:
         self._lru.clear()

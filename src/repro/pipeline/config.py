@@ -63,6 +63,18 @@ class LEADConfig:
     #: training epochs and ``detect`` calls.  ``0`` disables caching
     #: entirely (bit-for-bit the uncached code path, just slower).
     feature_cache_size: int = 65536
+    #: Inference compute dtype policy: ``"float64"`` (historical,
+    #: byte-identical), ``"float32"`` (reduced-precision hot path) or
+    #: ``"auto"`` (same as float32 today; both run the parity gate and
+    #: fall back to float64, provenance-noted, when it fails).  Training
+    #: always runs float64 regardless of this setting.
+    inference_dtype: str = "float64"
+    #: Parity-gate budget: maximum absolute divergence allowed between
+    #: the float32 and float64 merged distributions on the calibration
+    #: slice.  Distributions are min-max rescaled to [0, 1], so this is
+    #: relative to the decision scale.  Verdict (argmax pair) agreement
+    #: must additionally be exact.
+    precision_margin: float = 0.05
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -72,6 +84,12 @@ class LEADConfig:
             raise ValueError("invalid detector size")
         if self.feature_cache_size < 0:
             raise ValueError("feature_cache_size must be >= 0")
+        if self.inference_dtype not in ("float64", "float32", "auto"):
+            raise ValueError(
+                "inference_dtype must be 'float64', 'float32' or 'auto', "
+                f"got {self.inference_dtype!r}")
+        if not (0.0 < self.precision_margin <= 1.0):
+            raise ValueError("precision_margin must be in (0, 1]")
 
     def build_processor(self) -> RawTrajectoryProcessor:
         return RawTrajectoryProcessor(

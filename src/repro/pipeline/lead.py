@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from functools import partial
 from pathlib import Path
+from typing import Sequence
 
 import numpy as np
 
@@ -50,8 +51,8 @@ from ..features import (CandidateFeaturizer, FeatureExtractor,
 from ..io import (atomic_write_json, load_checked_json, verify_manifest,
                   write_manifest)
 from ..model import Trajectory
-from ..nn import (CheckpointManager, Tensor, TrainingHistory, load_module,
-                  no_grad, save_module)
+from ..nn import (CheckpointManager, Tensor, TrainingHistory, inference_dtype,
+                  load_module, no_grad, save_module)
 from ..perf.cache import SegmentFeatureCache
 from ..perf.parallel import parallel_map
 from ..processing import ProcessedTrajectory, sanitize_trajectory
@@ -84,6 +85,11 @@ class DetectionProvenance:
     #                                 "sp-r" | "heuristic"
     sanitized: bool = False         # input fixes were dropped/repaired
     notes: tuple[str, ...] = ()     # human-readable repair/failure trail
+    #: Dtype the neural tiers computed in ("float64" | "float32").  The
+    #: non-neural tiers (sp-r, heuristic) always report float64.  A
+    #: float32 request demoted by the parity gate reports float64 here
+    #: plus a degradation-style note in ``notes``.
+    compute_dtype: str = "float64"
 
     @property
     def degraded(self) -> bool:
@@ -157,6 +163,15 @@ class LEAD:
         self.fallback_detector = None
         self._fitted = False
         self._load_notes: tuple[str, ...] = ()
+        # Precision tier state: the effective compute dtype stays
+        # unresolved (None) for float32/auto policies until the parity
+        # gate has compared float32 against float64 verdicts on a
+        # calibration slice — at load time when calibration data is
+        # provided, otherwise lazily on the first detect batch.
+        self._effective_dtype: str | None = (
+            "float64" if cfg.inference_dtype == "float64" else None)
+        self._parity_report: dict[str, object] | None = None
+        self._precision_notes: tuple[str, ...] = ()
 
     # ------------------------------------------------------------------
     # Offline stage
@@ -392,6 +407,89 @@ class LEAD:
                                DetectionProvenance(tier=tier))
 
     # ------------------------------------------------------------------
+    # Precision tiers
+    # ------------------------------------------------------------------
+    #: Calibration-slice size for the parity gate; enough trajectories
+    #: to exercise every detector head without doubling a big batch.
+    _PARITY_CALIBRATION = 16
+
+    def run_parity_gate(self, processed_list: list[ProcessedTrajectory],
+                        margin: float | None = None) -> dict[str, object]:
+        """Compare float32 against float64 verdicts on a calibration slice.
+
+        Runs the full batched inference twice — once per dtype — over up
+        to ``_PARITY_CALIBRATION`` trajectories and demands exact
+        verdict (argmax pair) agreement plus a merged-distribution
+        divergence within ``margin`` (default
+        ``config.precision_margin``; distributions are min-max rescaled
+        to [0, 1], so the margin is relative to the decision scale).
+
+        For a ``"float32"``/``"auto"`` policy the outcome is committed:
+        a pass enables the float32 hot path for subsequent detect calls,
+        a failure pins inference to float64 and records a
+        degradation-style note that every later result carries in its
+        provenance.  Under a ``"float64"`` policy the gate only reports.
+        """
+        self._require_fitted()
+        if not processed_list:
+            raise ValueError("parity gate needs a non-empty calibration "
+                             "slice")
+        if margin is None:
+            margin = self.config.precision_margin
+        sample = processed_list[:self._PARITY_CALIBRATION]
+        with inference_dtype("float64"):
+            reference = self._predict_many(sample)
+        with inference_dtype("float32"):
+            candidate = self._predict_many(sample)
+        agreements = 0
+        max_divergence = 0.0
+        for processed, ref, got in zip(sample, reference, candidate):
+            n = processed.num_stay_points
+            if index_to_pair(n, int(np.argmax(ref))) == \
+                    index_to_pair(n, int(np.argmax(got))):
+                agreements += 1
+            max_divergence = max(max_divergence,
+                                 float(np.abs(ref - got).max()))
+        agreement = agreements / len(sample)
+        passed = agreement == 1.0 and max_divergence <= margin
+        report: dict[str, object] = {
+            "policy": self.config.inference_dtype,
+            "verdict_agreement": agreement,
+            "max_abs_divergence": max_divergence,
+            "margin": float(margin),
+            "num_calibration": len(sample),
+            "passed": passed,
+        }
+        self._parity_report = report
+        if self.config.inference_dtype != "float64":
+            if passed:
+                self._effective_dtype = "float32"
+                self._precision_notes = ()
+            else:
+                self._effective_dtype = "float64"
+                self._precision_notes = (
+                    "precision: float32 parity gate failed "
+                    f"(agreement={agreement:.3f}, "
+                    f"divergence={max_divergence:.3g} > "
+                    f"margin={margin:.3g}); fell back to float64",) \
+                    if max_divergence > margin else (
+                    "precision: float32 parity gate failed "
+                    f"(agreement={agreement:.3f}); fell back to float64",)
+        return report
+
+    @property
+    def parity_report(self) -> dict[str, object] | None:
+        """The most recent parity-gate report (``None`` before any run)."""
+        return self._parity_report
+
+    def _resolve_inference_dtype(
+            self, calibration: list[ProcessedTrajectory]) -> str:
+        """The dtype detect calls compute in, gating lazily if needed."""
+        if self._effective_dtype is None and calibration:
+            self.run_parity_gate(calibration)
+        return self._effective_dtype or "float64"
+
+    # ------------------------------------------------------------------
     # Batched online stage (fleet-scale throughput)
     # ------------------------------------------------------------------
     def _predict_many(self, processed_list: list[ProcessedTrajectory],
@@ -565,7 +663,8 @@ class LEAD:
         only push that trajectory down to the next tier.
         """
         results: list[DetectionResult | None] = [None] * len(processed_list)
-        notes = [list(n) for n in notes_list]
+        compute_dtype = self._resolve_inference_dtype(processed_list)
+        notes = [list(n) + list(self._precision_notes) for n in notes_list]
         sanitized = [bool(n) for n in notes_list]
         if self.independent_detector is not None:
             tiers: tuple[tuple[str, str], ...] = (("independent", "both"),)
@@ -576,8 +675,9 @@ class LEAD:
             if not pending:
                 break
             try:
-                raw = self._predict_many(
-                    [processed_list[k] for k in pending], direction)
+                with inference_dtype(compute_dtype):
+                    raw = self._predict_many(
+                        [processed_list[k] for k in pending], direction)
             except DetectorUnavailableError as exc:
                 for k in pending:
                     notes[k].append(f"tier {tier!r} failed: {exc}")
@@ -597,7 +697,8 @@ class LEAD:
                 results[k] = DetectionResult(
                     pair, distribution, processed,
                     DetectionProvenance(tier=tier, sanitized=sanitized[k],
-                                        notes=tuple(notes[k])))
+                                        notes=tuple(notes[k]),
+                                        compute_dtype=compute_dtype))
             pending = unresolved
         for k in pending:
             results[k] = self._fallback_result(processed_list[k], notes[k],
@@ -635,14 +736,17 @@ class LEAD:
                                  notes: list[str]) -> DetectionResult:
         """Walk the tier chain; always returns a provenance-tagged result."""
         sanitized = bool(notes)
+        compute_dtype = self._resolve_inference_dtype([processed])
+        notes = notes + list(self._precision_notes)
         if self.independent_detector is not None:
             tiers: tuple[tuple[str, str], ...] = (("independent", "both"),)
         else:
             tiers = _TIER_DIRECTIONS
         for tier, direction in tiers:
             try:
-                distribution = self.predict_distribution(processed,
-                                                         direction)
+                with inference_dtype(compute_dtype):
+                    distribution = self.predict_distribution(processed,
+                                                             direction)
             except (DetectorUnavailableError,
                     NumericalInstabilityError) as exc:
                 notes = notes + [f"tier {tier!r} failed: {exc}"]
@@ -652,7 +756,8 @@ class LEAD:
             return DetectionResult(
                 pair, distribution, processed,
                 DetectionProvenance(tier=tier, sanitized=sanitized,
-                                    notes=tuple(notes)))
+                                    notes=tuple(notes),
+                                    compute_dtype=compute_dtype))
         return self._fallback_result(processed, notes, sanitized)
 
     def _fallback_result(self, processed: ProcessedTrajectory,
@@ -709,7 +814,8 @@ class LEAD:
         written.append("state.json")
         write_manifest(directory, written, kind="lead-model",
                        meta={"seed": self.config.seed,
-                             "detectors": sorted(self._detector_modules())})
+                             "detectors": sorted(self._detector_modules()),
+                             "dtype_policy": self.config.inference_dtype})
         return directory
 
     def _detector_modules(self) -> dict[str, object]:
@@ -722,7 +828,9 @@ class LEAD:
             modules["independent"] = self.independent_detector
         return modules
 
-    def load(self, directory: str | Path, strict: bool = True) -> "LEAD":
+    def load(self, directory: str | Path, strict: bool = True,
+             calibration: Sequence[ProcessedTrajectory] | None = None,
+             ) -> "LEAD":
         """Load weights saved by :meth:`save` (config must match).
 
         ``strict=True`` (default) verifies the manifest and raises
@@ -732,16 +840,30 @@ class LEAD:
         detection falls down the tier chain and says so in its
         provenance), while the autoencoder and normalizer remain
         mandatory because nothing can run without them.
+
+        A manifest recording an unknown ``dtype_policy`` is rejected in
+        both modes — it means the artifact was produced by a newer (or
+        tampered-with) precision scheme this build cannot honor.  When
+        ``calibration`` trajectories are supplied and the configured
+        policy is not ``"float64"``, the float32/float64 parity gate
+        runs here instead of lazily at the first detect call.
         """
         directory = Path(directory)
         notes: list[str] = []
+        manifest = None
         if strict:
-            verify_manifest(directory)
+            manifest = verify_manifest(directory)
         else:
             try:
-                verify_manifest(directory)
+                manifest = verify_manifest(directory)
             except ArtifactCorruptedError as exc:
                 notes.append(f"manifest verification failed: {exc.reason}")
+        if manifest is not None:
+            policy = manifest.meta.get("dtype_policy", "float64")
+            if policy not in ("float64", "float32", "auto"):
+                raise ArtifactCorruptedError(
+                    directory / "manifest.json",
+                    f"unknown recorded dtype policy {policy!r}")
         load_module(self.autoencoder, directory / "autoencoder.npz")
         for name in ("forward", "backward", "independent"):
             detector = getattr(self, f"{name}_detector")
@@ -769,4 +891,6 @@ class LEAD:
                 f"invalid normalizer state: {exc}") from exc
         self._load_notes = tuple(notes)
         self._fitted = True
+        if calibration and self.config.inference_dtype != "float64":
+            self.run_parity_gate(list(calibration))
         return self

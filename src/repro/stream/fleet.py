@@ -565,4 +565,7 @@ class FleetSessionManager:
         cache = getattr(self.detector, "feature_cache", None)
         if cache is not None:
             payload["feature_cache"] = cache.stats.as_dict()
+            counts = getattr(cache, "dtype_key_counts", None)
+            if counts is not None:
+                payload["feature_cache"]["dtype_keys"] = counts()
         return payload
