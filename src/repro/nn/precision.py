@@ -32,7 +32,8 @@ from collections import OrderedDict
 
 import numpy as np
 
-from .tensor import Tensor, is_grad_enabled
+from .tensor import (Tensor, _PRECISION_STATE, active_dtype_name,
+                     is_grad_enabled)
 
 __all__ = ["VALID_DTYPES", "inference_dtype", "active_dtype",
            "active_dtype_name", "weight_view", "inference_param",
@@ -46,16 +47,14 @@ VALID_DTYPES = ("float64", "float32")
 _DTYPES = {"float64": np.dtype(np.float64),
            "float32": np.dtype(np.float32)}
 
-#: Per-thread precision policy.  Like autograd mode and fusion, the
-#: policy lives in ``threading.local`` storage so a detection worker
-#: running float32 never changes the dtype observed by a concurrently
-#: training thread.  Each thread starts in float64.
-_PRECISION_STATE = threading.local()
-
-
-def active_dtype_name() -> str:
-    """Name of this thread's inference dtype (``"float64"`` default)."""
-    return getattr(_PRECISION_STATE, "dtype_name", "float64")
+# The per-thread policy state itself lives in ``repro.nn.tensor``
+# (``_PRECISION_STATE`` / ``active_dtype_name``), next to the autograd
+# flag: ``Tensor`` construction consults both to decide whether a
+# float32 array may pass through uncoerced, and importing it from here
+# would be circular.  Like autograd mode and fusion, the policy is
+# ``threading.local`` so a detection worker running float32 never
+# changes the dtype observed by a concurrently training thread; each
+# thread starts in float64.
 
 
 def active_dtype() -> np.dtype:
@@ -107,6 +106,13 @@ _VIEW_CACHE: OrderedDict[int, tuple[Tensor, np.ndarray, int, np.ndarray]] \
     = OrderedDict()
 _VIEW_CACHE_MAX = 1024
 _VIEW_STATS = {"hits": 0, "misses": 0, "invalidations": 0}
+#: The cache is shared by every thread (inference workers and a
+#: concurrently training thread see the same master weights), so all
+#: OrderedDict/stats mutation happens under one lock — get +
+#: move_to_end + popitem interleavings would otherwise drop entries or
+#: raise KeyError under eviction pressure.  The cast a miss performs
+#: dwarfs the lock cost.
+_VIEW_LOCK = threading.Lock()
 
 
 def weight_view(tensor: Tensor, dtype: np.dtype | None = None) -> np.ndarray:
@@ -117,7 +123,7 @@ def weight_view(tensor: Tensor, dtype: np.dtype | None = None) -> np.ndarray:
     *same object* (``load_state_dict`` rebinds ``data``) **and** the
     tensor's ``version`` counter is unchanged (optimizers mutate the
     array in place and bump the counter) — either mutation path drops
-    the stale view.
+    the stale view.  Thread-safe: see :data:`_VIEW_LOCK`.
     """
     if dtype is None:
         dtype = active_dtype()
@@ -126,20 +132,21 @@ def weight_view(tensor: Tensor, dtype: np.dtype | None = None) -> np.ndarray:
         return data
     key = id(tensor)
     version = getattr(tensor, "version", 0)
-    entry = _VIEW_CACHE.get(key)
-    if entry is not None:
-        if (entry[0] is tensor and entry[1] is data
-                and entry[2] == version and entry[3].dtype == dtype):
-            _VIEW_CACHE.move_to_end(key)
-            _VIEW_STATS["hits"] += 1
-            return entry[3]
-        _VIEW_STATS["invalidations"] += 1
-    _VIEW_STATS["misses"] += 1
-    view = np.asarray(data, dtype=dtype)
-    view.setflags(write=False)
-    _VIEW_CACHE[key] = (tensor, data, version, view)
-    while len(_VIEW_CACHE) > _VIEW_CACHE_MAX:
-        _VIEW_CACHE.popitem(last=False)
+    with _VIEW_LOCK:
+        entry = _VIEW_CACHE.get(key)
+        if entry is not None:
+            if (entry[0] is tensor and entry[1] is data
+                    and entry[2] == version and entry[3].dtype == dtype):
+                _VIEW_CACHE.move_to_end(key)
+                _VIEW_STATS["hits"] += 1
+                return entry[3]
+            _VIEW_STATS["invalidations"] += 1
+        _VIEW_STATS["misses"] += 1
+        view = np.asarray(data, dtype=dtype)
+        view.setflags(write=False)
+        _VIEW_CACHE[key] = (tensor, data, version, view)
+        while len(_VIEW_CACHE) > _VIEW_CACHE_MAX:
+            _VIEW_CACHE.popitem(last=False)
     return view
 
 
@@ -159,12 +166,14 @@ def inference_param(tensor: Tensor) -> Tensor:
 
 def weight_view_stats() -> dict[str, int]:
     """Hit/miss/invalidation counters plus the current entry count."""
-    stats = dict(_VIEW_STATS)
-    stats["entries"] = len(_VIEW_CACHE)
+    with _VIEW_LOCK:
+        stats = dict(_VIEW_STATS)
+        stats["entries"] = len(_VIEW_CACHE)
     return stats
 
 
 def clear_weight_views() -> None:
     """Drop every cached view (tests and cold benches)."""
-    _VIEW_CACHE.clear()
-    _VIEW_STATS.update(hits=0, misses=0, invalidations=0)
+    with _VIEW_LOCK:
+        _VIEW_CACHE.clear()
+        _VIEW_STATS.update(hits=0, misses=0, invalidations=0)

@@ -57,6 +57,39 @@ def is_grad_enabled() -> bool:
     return getattr(_GRAD_STATE, "enabled", True)
 
 
+#: Per-thread inference-precision policy, set by
+#: :func:`repro.nn.precision.inference_dtype`.  It lives here, next to
+#: the autograd flag, because :class:`Tensor` construction must consult
+#: both to decide whether a float32 array may pass through uncoerced.
+_PRECISION_STATE = threading.local()
+
+
+def active_dtype_name() -> str:
+    """Name of this thread's inference dtype (``"float64"`` default)."""
+    return getattr(_PRECISION_STATE, "dtype_name", "float64")
+
+
+def _coerce_master_dtype(arr: np.ndarray) -> np.ndarray:
+    """Coerce to the float64 master dtype unless on the float32
+    inference path.
+
+    float32 arrays pass through only while gradients are disabled *and*
+    a float32 inference context is active — the one situation in which
+    the reduced-precision kernels produce them.  Everything else (lists,
+    ints, float16, and notably float32 features handed to ``fit()``) is
+    coerced to float64, preserving the "training always runs float64"
+    invariant that the gradient checks depend on.
+    """
+    if arr.dtype == np.float64:
+        return arr
+    if (arr.dtype == np.float32
+            and not getattr(_GRAD_STATE, "enabled", True)
+            and getattr(_PRECISION_STATE, "dtype_name",
+                        "float64") == "float32"):
+        return arr
+    return np.asarray(arr, dtype=np.float64)
+
+
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     """Reduce ``grad`` so that it matches ``shape`` after broadcasting.
 
@@ -79,10 +112,7 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
 def _as_array(value: "Tensor | np.ndarray | float | int") -> np.ndarray:
     if isinstance(value, Tensor):
         return value.data
-    arr = np.asarray(value)
-    if arr.dtype != np.float32:
-        arr = np.asarray(arr, dtype=np.float64)
-    return arr
+    return _coerce_master_dtype(np.asarray(value))
 
 
 def _is_basic_index(key: object) -> bool:
@@ -111,13 +141,11 @@ class Tensor:
         requires_grad: bool = False,
     ) -> None:
         # float64 is the master dtype; float32 arrays pass through
-        # untouched so reduced-precision inference flows stay float32
-        # end-to-end.  Everything else (lists, ints, float16, ...) is
-        # coerced to float64 exactly as before.
-        arr = np.asarray(data)
-        if arr.dtype != np.float32:
-            arr = np.asarray(arr, dtype=np.float64)
-        self.data = arr
+        # untouched only on the no-grad float32 inference path (see
+        # _coerce_master_dtype), so reduced-precision flows stay float32
+        # end-to-end while training stays float64 even for callers that
+        # feed float32 inputs.
+        self.data = _coerce_master_dtype(np.asarray(data))
         self.requires_grad = (bool(requires_grad)
                               and getattr(_GRAD_STATE, "enabled", True))
         self.grad: np.ndarray | None = None

@@ -69,11 +69,13 @@ class LEADConfig:
     #: fall back to float64, provenance-noted, when it fails).  Training
     #: always runs float64 regardless of this setting.
     inference_dtype: str = "float64"
-    #: Parity-gate budget: maximum absolute divergence allowed between
-    #: the float32 and float64 merged distributions on the calibration
-    #: slice.  Distributions are min-max rescaled to [0, 1], so this is
-    #: relative to the decision scale.  Verdict (argmax pair) agreement
-    #: must additionally be exact.
+    #: Parity-gate budget: maximum raw absolute difference allowed
+    #: between the float32 and float64 merged distributions on the
+    #: calibration slice.  The gate compares the distributions as they
+    #: arrive — already min-max rescaled to [0, 1] by
+    #: ``merge_distributions`` (Eq. 13) — so this margin is relative to
+    #: the decision scale.  Verdict (argmax pair) agreement must
+    #: additionally be exact.
     precision_margin: float = 0.05
     seed: int = 0
 

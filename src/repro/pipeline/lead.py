@@ -208,6 +208,7 @@ class LEAD:
         report.detector_histories = self._fit_detectors(detector_specs,
                                                         verbose, det_ckpt)
         self._fitted = True
+        self._reset_precision_state()
         return report
 
     def fit_detectors_only(self, training: list[LabeledSample],
@@ -234,6 +235,7 @@ class LEAD:
         report.detector_histories = self._fit_detectors(specs, verbose,
                                                         det_ckpt)
         self._fitted = True
+        self._reset_precision_state()
         return report
 
     @staticmethod
@@ -412,6 +414,10 @@ class LEAD:
     #: Calibration-slice size for the parity gate; enough trajectories
     #: to exercise every detector head without doubling a big batch.
     _PARITY_CALIBRATION = 16
+    #: Below this many calibration trajectories a passing gate still
+    #: commits float32 (re-gating on every detect call would triple its
+    #: cost) but flags the thin evidence in the provenance notes.
+    _PARITY_MIN_CALIBRATION = 4
 
     def run_parity_gate(self, processed_list: list[ProcessedTrajectory],
                         margin: float | None = None) -> dict[str, object]:
@@ -421,14 +427,22 @@ class LEAD:
         to ``_PARITY_CALIBRATION`` trajectories and demands exact
         verdict (argmax pair) agreement plus a merged-distribution
         divergence within ``margin`` (default
-        ``config.precision_margin``; distributions are min-max rescaled
-        to [0, 1], so the margin is relative to the decision scale).
+        ``config.precision_margin``).  The divergence is the raw maximum
+        absolute difference of the merged distributions; those arrive
+        min-max rescaled to [0, 1] by ``merge_distributions`` (Eq. 13),
+        so the margin is relative to the decision scale without any
+        further rescaling here.
 
         For a ``"float32"``/``"auto"`` policy the outcome is committed:
         a pass enables the float32 hot path for subsequent detect calls,
         a failure pins inference to float64 and records a
         degradation-style note that every later result carries in its
-        provenance.  Under a ``"float64"`` policy the gate only reports.
+        provenance.  The gate itself degrades rather than raises: if
+        batched inference cannot run at all (e.g. a detector is missing
+        after ``load(strict=False)``) or produces non-finite
+        distributions, the gate fails and pins float64, leaving the
+        normal tier walk to serve the request.  Under a ``"float64"``
+        policy the gate only reports.
         """
         self._require_fitted()
         if not processed_list:
@@ -437,13 +451,36 @@ class LEAD:
         if margin is None:
             margin = self.config.precision_margin
         sample = processed_list[:self._PARITY_CALIBRATION]
-        with inference_dtype("float64"):
-            reference = self._predict_many(sample)
-        with inference_dtype("float32"):
-            candidate = self._predict_many(sample)
+        try:
+            with inference_dtype("float64"):
+                reference = self._predict_many(sample)
+            with inference_dtype("float32"):
+                candidate = self._predict_many(sample)
+        except (DetectorUnavailableError, NumericalInstabilityError) as exc:
+            report: dict[str, object] = {
+                "policy": self.config.inference_dtype,
+                "verdict_agreement": 0.0,
+                "max_abs_divergence": float("inf"),
+                "margin": float(margin),
+                "num_calibration": len(sample),
+                "passed": False,
+                "error": str(exc),
+            }
+            self._parity_report = report
+            if self.config.inference_dtype != "float64":
+                self._effective_dtype = "float64"
+                self._precision_notes = (
+                    "precision: float32 parity gate could not run "
+                    f"({exc}); fell back to float64",)
+            return report
         agreements = 0
         max_divergence = 0.0
         for processed, ref, got in zip(sample, reference, candidate):
+            if not (np.isfinite(ref).all() and np.isfinite(got).all()):
+                # Non-finite on either side: argmax and divergence are
+                # meaningless — count it as a disagreement.
+                max_divergence = float("inf")
+                continue
             n = processed.num_stay_points
             if index_to_pair(n, int(np.argmax(ref))) == \
                     index_to_pair(n, int(np.argmax(got))):
@@ -452,7 +489,7 @@ class LEAD:
                                  float(np.abs(ref - got).max()))
         agreement = agreements / len(sample)
         passed = agreement == 1.0 and max_divergence <= margin
-        report: dict[str, object] = {
+        report = {
             "policy": self.config.inference_dtype,
             "verdict_agreement": agreement,
             "max_abs_divergence": max_divergence,
@@ -465,6 +502,13 @@ class LEAD:
             if passed:
                 self._effective_dtype = "float32"
                 self._precision_notes = ()
+                if len(sample) < self._PARITY_MIN_CALIBRATION:
+                    self._precision_notes = (
+                        "precision: float32 enabled from a small "
+                        f"calibration slice (n={len(sample)} < "
+                        f"{self._PARITY_MIN_CALIBRATION}); re-run "
+                        "run_parity_gate() with more trajectories to "
+                        "confirm",)
             else:
                 self._effective_dtype = "float64"
                 self._precision_notes = (
@@ -488,6 +532,20 @@ class LEAD:
         if self._effective_dtype is None and calibration:
             self.run_parity_gate(calibration)
         return self._effective_dtype or "float64"
+
+    def _reset_precision_state(self) -> None:
+        """Invalidate any committed precision decision.
+
+        Called whenever the weights change (``fit`` retrains, ``load``
+        rebinds) — a parity verdict reached against the old weights says
+        nothing about the new ones, so float32/auto policies go back to
+        "ungated" and the next detect call (or an explicit
+        :meth:`run_parity_gate`) re-earns the float32 hot path.
+        """
+        self._effective_dtype = (
+            "float64" if self.config.inference_dtype == "float64" else None)
+        self._parity_report = None
+        self._precision_notes = ()
 
     # ------------------------------------------------------------------
     # Batched online stage (fleet-scale throughput)
@@ -891,6 +949,7 @@ class LEAD:
                 f"invalid normalizer state: {exc}") from exc
         self._load_notes = tuple(notes)
         self._fitted = True
+        self._reset_precision_state()
         if calibration and self.config.inference_dtype != "float64":
             self.run_parity_gate(list(calibration))
         return self

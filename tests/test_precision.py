@@ -175,6 +175,39 @@ class TestWeightViews:
             with no_grad():
                 assert inference_param(p) is not p
 
+    def test_thread_safety_under_eviction(self, monkeypatch):
+        """Concurrent lookups with a tiny LRU never corrupt the cache.
+
+        Regression: get/move_to_end/popitem used to interleave without a
+        lock, so one thread could evict a key between another thread's
+        get() and move_to_end(), raising KeyError.
+        """
+        from repro.nn import precision
+        clear_weight_views()
+        monkeypatch.setattr(precision, "_VIEW_CACHE_MAX", 8)
+        params = [Tensor(np.full((4, 4), float(i)), requires_grad=True)
+                  for i in range(32)]
+        errors: list[Exception] = []
+
+        def worker(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            try:
+                for _ in range(300):
+                    p = params[int(rng.integers(len(params)))]
+                    view = weight_view(p, np.dtype(np.float32))
+                    assert view.dtype == np.float32
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not errors
+        clear_weight_views()
+
 
 class TestFloat64BitIdentity:
     """An explicit float64 context is the pre-precision code, exactly."""
@@ -200,6 +233,31 @@ class TestFloat64BitIdentity:
         np.testing.assert_array_equal(baseline.distribution,
                                       inside.distribution)
         assert baseline.provenance.compute_dtype == "float64"
+
+
+class TestTrainingStaysFloat64:
+    """float32 inputs never leak reduced precision into training."""
+
+    def test_float32_input_coerced_while_grads_live(self):
+        x32 = np.ones((2, 3), dtype=np.float32)
+        assert Tensor(x32).data.dtype == np.float64
+        with inference_dtype("float32"):
+            # Gradients are still enabled: the float32 context must not
+            # downgrade training inputs.
+            assert Tensor(x32).data.dtype == np.float64
+            with no_grad():
+                assert Tensor(x32).data.dtype == np.float32
+        with no_grad():
+            # No float32 context: no-grad alone does not opt in.
+            assert Tensor(x32).data.dtype == np.float64
+
+    def test_float32_operand_coerced_in_training_ops(self):
+        w = Tensor(np.ones((3, 2)), requires_grad=True)
+        x32 = np.ones((2, 3), dtype=np.float32)
+        out = Tensor(x32) @ w
+        assert out.data.dtype == np.float64
+        out.sum().backward()
+        assert w.grad is not None and w.grad.dtype == np.float64
 
 
 class TestVerdictAgreement:
@@ -321,6 +379,55 @@ class TestPolicyAndProvenance:
     def test_invalid_policy_rejected(self):
         with pytest.raises(ValueError, match="inference_dtype"):
             tiny_config(inference_dtype="float16")
+
+    def test_gate_degrades_when_detector_missing(self, world_and_data,
+                                                 fitted, tmp_path):
+        """A degraded model must not crash the lazy parity gate.
+
+        Regression: with a float32/auto policy and a detector lost to
+        ``load(strict=False)``, the gate's batched forward raised
+        DetectorUnavailableError out of ``detect`` instead of pinning
+        float64 and letting the tier chain answer.
+        """
+        world, _ = world_and_data
+        lead, trajectories = fitted
+        directory = lead.save(tmp_path / "model")
+        (directory / "forward.npz").unlink()
+        degraded = LEAD(world.pois, tiny_config(inference_dtype="float32"))
+        degraded.load(directory, strict=False)
+        assert degraded.forward_detector is None
+        result = degraded.detect(trajectories[0])
+        assert result is not None
+        assert result.provenance.compute_dtype == "float64"
+        assert result.provenance.tier in ("backward-only", "sp-r",
+                                          "heuristic")
+        assert any("parity gate could not run" in note
+                   for note in result.provenance.notes)
+        report = degraded.parity_report
+        assert report is not None and not report["passed"]
+        assert "error" in report
+
+    def test_weight_swap_resets_committed_gate(self, world_and_data,
+                                               fitted, tmp_path):
+        """fit()/load() invalidate a previously committed precision
+        decision, so stale parity passes never survive a weight swap."""
+        world, _ = world_and_data
+        lead, trajectories = fitted
+        directory = lead.save(tmp_path / "model")
+        fresh = LEAD(world.pois, tiny_config(inference_dtype="float32"))
+        fresh.load(directory)
+        assert fresh.parity_report is None
+        result = fresh.detect(trajectories[0])
+        assert result is not None
+        assert fresh.parity_report is not None  # lazy gate committed
+        if fresh.parity_report["passed"]:
+            # Committed from a single-trajectory slice: the thin
+            # calibration is flagged in the provenance.
+            assert any("small calibration" in note
+                       for note in result.provenance.notes)
+        fresh.load(directory)
+        assert fresh.parity_report is None
+        assert fresh._effective_dtype is None
 
 
 class TestSerialization:
