@@ -10,8 +10,12 @@ Subcommands::
     python -m repro.cli tables   --scale small
     python -m repro.cli bench    --scale tiny --out BENCH_lead.json
     python -m repro.cli stream   --data data.json.gz --model model/
+    python -m repro.cli obs      telemetry.jsonl
 
 ``generate``/``train``/``detect``/``evaluate`` operate on explicit files;
+``detect``/``train``/``stream``/``chaos`` accept ``--telemetry PATH`` to
+record a JSONL trace (spans, structured events, metrics) that ``obs``
+renders; telemetry is off by default and costs nothing when off.
 ``verify`` integrity-checks a saved model directory against its
 manifest; ``tables`` drives the cached experiment harness (the same
 artifacts the benchmarks use).
@@ -24,7 +28,31 @@ raw exception for debugging.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
+
+
+@contextlib.contextmanager
+def _telemetry(args: argparse.Namespace):
+    """Activate the observability subsystem when ``--telemetry`` was given.
+
+    Yields the :class:`~repro.obs.Observability` instance (or ``None``
+    when telemetry is off) and flushes the JSONL sink on exit — even
+    when the command fails, so a crashing run still leaves its trace.
+    """
+    path = getattr(args, "telemetry", None)
+    if path is None:
+        yield None
+        return
+    from .obs import Observability, observe
+    ob = Observability(seed=getattr(args, "seed", 0))
+    try:
+        with observe(ob):
+            yield ob
+    finally:
+        ob.flush(path)
+        print(f"telemetry: {len(ob.tracer.finished)} spans, "
+              f"{len(ob.events)} events -> {path}")
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -54,8 +82,10 @@ def _cmd_train(args: argparse.Namespace) -> int:
     world = _world_for_seed(args.seed)
     lead = LEAD(world.pois, LEADConfig(seed=args.seed))
     checkpoint_dir = args.checkpoint_dir
-    report = lead.fit(train.samples, verbose=True,
-                      checkpoint_dir=checkpoint_dir, workers=args.workers)
+    with _telemetry(args):
+        report = lead.fit(train.samples, verbose=True,
+                          checkpoint_dir=checkpoint_dir,
+                          workers=args.workers)
     lead.save(args.out)
     print(f"trained on {report.num_trajectories_used} trajectories; "
           f"weights saved to {args.out}")
@@ -86,7 +116,8 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     world = _world_for_seed(args.seed)
     lead = LEAD(world.pois, LEADConfig(seed=args.seed)).load(args.model)
     sample = dataset[args.index]
-    result = lead.detect(sample.trajectory)
+    with _telemetry(args):
+        result = lead.detect(sample.trajectory)
     if result is None:
         print("trajectory has too few stay points")
         return 1
@@ -133,7 +164,6 @@ def _cmd_tables(args: argparse.Namespace) -> int:
 
 
 def _cmd_stream(args: argparse.Namespace) -> int:
-    import json
     from .data import HCTDataset
     from .pipeline import LEAD, LEADConfig
     from .stream import (FleetConfig, FleetSessionManager,
@@ -163,18 +193,23 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 announced[key] = state
                 print(f"  {verdict.summary()}")
 
-    next_tick = None
-    for ping in pings:
-        if next_tick is None:
-            next_tick = ping.t + args.tick_s
-        while ping.t >= next_tick:
-            _announce(manager.tick())
-            next_tick += args.tick_s
-        manager.ingest(ping.truck_id, ping.lat, ping.lng, ping.t,
-                       day=ping.day)
-    print("end of feed; finalizing every session:")
-    _announce(manager.flush_all())
-    print(json.dumps(manager.stats(), indent=2, sort_keys=True))
+    from .obs import render_table
+    with _telemetry(args) as ob:
+        next_tick = None
+        for ping in pings:
+            if next_tick is None:
+                next_tick = ping.t + args.tick_s
+            while ping.t >= next_tick:
+                _announce(manager.tick())
+                next_tick += args.tick_s
+            manager.ingest(ping.truck_id, ping.lat, ping.lng, ping.t,
+                           day=ping.day)
+        print("end of feed; finalizing every session:")
+        _announce(manager.flush_all())
+        print(render_table(manager.stats(), title="fleet stats"), end="")
+        if ob is not None:
+            print(render_table(ob.registry.snapshot(),
+                               title="telemetry metrics"), end="")
     return 0
 
 
@@ -182,27 +217,28 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     import json
     from .chaos import format_chaos_ledger, run_chaos_soak
     from .io import atomic_write_json
-    report = run_chaos_soak(
-        seed=args.seed, data_seed=args.data_seed,
-        num_trajectories=args.trajectories, num_trucks=args.trucks,
-        fit_detector=not args.no_detector,
-        max_sessions=args.max_sessions)
-    print(format_chaos_ledger(report))
-    failed = not report["ok"]
-    if args.check_determinism:
-        replay = run_chaos_soak(
+    with _telemetry(args):
+        report = run_chaos_soak(
             seed=args.seed, data_seed=args.data_seed,
             num_trajectories=args.trajectories, num_trucks=args.trucks,
             fit_detector=not args.no_detector,
             max_sessions=args.max_sessions)
-        ledger_same = replay["ledger"] == report["ledger"]
-        digest_same = replay["verdict_digest"] == report["verdict_digest"]
-        print(f"determinism: ledger_match={ledger_same} "
-              f"verdict_match={digest_same}")
-        if not (ledger_same and digest_same):
-            print("FAIL: the same seed did not reproduce the same "
-                  "fault ledger / verdicts", file=sys.stderr)
-            failed = True
+        print(format_chaos_ledger(report))
+        failed = not report["ok"]
+        if args.check_determinism:
+            replay = run_chaos_soak(
+                seed=args.seed, data_seed=args.data_seed,
+                num_trajectories=args.trajectories, num_trucks=args.trucks,
+                fit_detector=not args.no_detector,
+                max_sessions=args.max_sessions)
+            ledger_same = replay["ledger"] == report["ledger"]
+            digest_same = replay["verdict_digest"] == report["verdict_digest"]
+            print(f"determinism: ledger_match={ledger_same} "
+                  f"verdict_match={digest_same}")
+            if not (ledger_same and digest_same):
+                print("FAIL: the same seed did not reproduce the same "
+                      "fault ledger / verdicts", file=sys.stderr)
+                failed = True
     if args.out is not None:
         atomic_write_json(args.out, report, indent=2)
         print(f"wrote {args.out}")
@@ -248,6 +284,41 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from .obs import read_jsonl, render_span_tree, render_table
+    records = read_jsonl(args.path)
+    if not records:
+        print(f"no telemetry records in {args.path}")
+        return 1
+    want = args.section
+    meta = next((r for r in records if r.get("kind") == "meta"), None)
+    if meta is not None and want == "all":
+        print(f"telemetry schema v{meta.get('schema', '?')} "
+              f"seed={meta.get('seed', '?')}")
+    if want in ("all", "metrics"):
+        snaps = [r for r in records if r.get("kind") == "metrics"]
+        if snaps:
+            print(render_table(snaps[-1]["metrics"], title="metrics"),
+                  end="")
+    if want in ("all", "spans"):
+        spans = [r for r in records if r.get("kind") == "span"]
+        if spans:
+            print("spans")
+            print("-----")
+            print(render_span_tree(spans), end="")
+    if want in ("all", "events"):
+        events = [r for r in records if r.get("kind") == "event"]
+        if events:
+            print("events")
+            print("------")
+            for event in events:
+                fields = event.get("fields") or {}
+                rendered = " ".join(f"{k}={fields[k]}"
+                                    for k in sorted(fields))
+                print(f"{event['id']}  {event['name']}  {rendered}")
+    return 0
+
+
 def _format_cache_stats(cache: dict | None) -> str:
     """One readable line of feature-cache counters (``--cache-stats``)."""
     if not cache:
@@ -271,6 +342,9 @@ def build_parser() -> argparse.ArgumentParser:
     workers_help = ("worker processes for the embarrassingly parallel "
                     "stages (default: serial; negative = one per CPU); "
                     "any count >= 1 produces identical results")
+    telemetry_help = ("write a JSONL telemetry trace (spans, structured "
+                      "events, metrics snapshot) here; inspect it with "
+                      "'repro obs <path>'")
 
     p = sub.add_parser("generate", help="generate a synthetic dataset")
     p.add_argument("--out", required=True)
@@ -287,6 +361,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="checkpoint every epoch here; rerunning the same "
                         "command after a crash resumes training")
     p.add_argument("--workers", type=int, default=None, help=workers_help)
+    p.add_argument("--telemetry", default=None, metavar="PATH",
+                   help=telemetry_help)
     p.set_defaults(func=_cmd_train)
 
     p = sub.add_parser("verify",
@@ -299,6 +375,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", required=True)
     p.add_argument("--index", type=int, default=0)
     p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--telemetry", default=None, metavar="PATH",
+                   help=telemetry_help)
     p.set_defaults(func=_cmd_detect)
 
     p = sub.add_parser("evaluate", help="evaluate a trained model")
@@ -335,6 +413,8 @@ def build_parser() -> argparse.ArgumentParser:
                         "simulate out-of-order arrival")
     p.add_argument("--limit", type=int, default=None,
                    help="replay only the first N truck-days")
+    p.add_argument("--telemetry", default=None, metavar="PATH",
+                   help=telemetry_help)
     p.set_defaults(func=_cmd_stream)
 
     p = sub.add_parser("chaos",
@@ -362,6 +442,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None,
                    help="write the full JSON report (ledger included) "
                         "here")
+    p.add_argument("--telemetry", default=None, metavar="PATH",
+                   help=telemetry_help)
     p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("bench",
@@ -388,6 +470,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print feature-cache hit/miss/eviction counters "
                         "and per-dtype entry counts")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser("obs",
+                       help="inspect a JSONL telemetry trace written by "
+                            "--telemetry (metrics, span tree, events)")
+    p.add_argument("path", help="telemetry JSONL file")
+    p.add_argument("--section", default="all",
+                   choices=["all", "metrics", "spans", "events"],
+                   help="print only one section of the trace")
+    p.set_defaults(func=_cmd_obs)
 
     parser.add_argument("--traceback", action="store_true",
                         help="show full tracebacks for typed errors")

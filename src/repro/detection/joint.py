@@ -13,6 +13,7 @@ See DESIGN.md §2 for the substitution record.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -20,6 +21,7 @@ import numpy as np
 from ..encoding import HierarchicalAutoencoder
 from ..nn import (Adam, CheckpointManager, EarlyStopping, TrainingHistory,
                   bce_loss, clip_grad_norm, concat, kld_loss, use_fused)
+from ..obs.core import active_obs
 from .detectors import GroupDetector, IndependentDetector
 from .grouping import backward_index_maps, forward_index_maps
 from .labels import smooth_label
@@ -117,6 +119,8 @@ class JointDetectorTrainer:
         for epoch in range(start_epoch, cfg.epochs):
             if stopper.should_stop:
                 break
+            epoch_start = time.perf_counter()
+            steps = 0
             order = rng.permutation(len(specs))
             totals = np.zeros(len(histories))
             with use_fused(cfg.fused):
@@ -133,8 +137,11 @@ class JointDetectorTrainer:
                     optimizer.step()
                     for d, loss in enumerate(losses):
                         totals[d] += loss.item()
+                    steps += 1
             for d, history in enumerate(histories):
                 history.record(totals[d] / len(order))
+            self._publish_epoch(epoch, histories, steps,
+                                time.perf_counter() - epoch_start)
             if verbose:
                 rendered = ", ".join(
                     f"{h.name}={h.final_loss:.4f}" for h in histories)
@@ -152,6 +159,28 @@ class JointDetectorTrainer:
         if checkpoint is not None:
             checkpoint.clear()
         return histories
+
+    @staticmethod
+    def _publish_epoch(epoch: int, histories: list[TrainingHistory],
+                       steps: int, elapsed_s: float) -> None:
+        """Per-epoch, per-detector training gauges when telemetry is on."""
+        ob = active_obs()
+        if ob is None:
+            return
+        for history in histories:
+            labels = {"model": "joint", "detector": history.name}
+            ob.registry.gauge("train_epoch",
+                              help="Last completed epoch index.",
+                              labels=labels).set(epoch)
+            ob.registry.gauge(
+                "train_epoch_loss",
+                help="Mean loss of the last completed epoch.",
+                labels=labels).set(history.final_loss)
+        if elapsed_s > 0.0:
+            ob.registry.gauge(
+                "train_steps_per_second",
+                help="Optimizer steps per second over the last epoch.",
+                labels={"model": "joint"}).set(steps / elapsed_s)
 
     def _make_histories(self) -> list[TrainingHistory]:
         if self.independent is not None:

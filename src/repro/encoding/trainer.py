@@ -10,6 +10,7 @@ hundreds of small matmuls per update with a few large ones.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -17,6 +18,7 @@ import numpy as np
 from ..features import CandidateFeatures
 from ..nn import (Adam, CheckpointManager, EarlyStopping, TrainingHistory,
                   clip_grad_norm, use_fused)
+from ..obs.core import active_obs
 from .autoencoder import HierarchicalAutoencoder
 
 __all__ = ["AutoencoderTrainer", "AutoencoderTrainingConfig"]
@@ -112,6 +114,7 @@ class AutoencoderTrainer:
         for epoch in range(start_epoch, cfg.epochs):
             if stopper.should_stop:
                 break
+            epoch_start = time.perf_counter()
             order = rng.permutation(len(samples))
             if cfg.max_samples_per_epoch is not None:
                 order = order[:cfg.max_samples_per_epoch]
@@ -135,6 +138,8 @@ class AutoencoderTrainer:
                 batches += 1
             epoch_loss = total / batches
             history.record(epoch_loss)
+            self._publish_epoch(epoch, epoch_loss, batches,
+                                time.perf_counter() - epoch_start)
             if verbose:
                 print(f"[autoencoder] epoch {epoch}: mse={epoch_loss:.5f}")
             should_stop = stopper.update(epoch_loss)
@@ -145,3 +150,22 @@ class AutoencoderTrainer:
                                 stopper=stopper, histories=[history])
             if should_stop:
                 break
+
+    @staticmethod
+    def _publish_epoch(epoch: int, loss: float, steps: int,
+                       elapsed_s: float) -> None:
+        """Per-epoch training gauges when telemetry is active."""
+        ob = active_obs()
+        if ob is None:
+            return
+        labels = {"model": "autoencoder"}
+        ob.registry.gauge("train_epoch", help="Last completed epoch index.",
+                          labels=labels).set(epoch)
+        ob.registry.gauge("train_epoch_loss",
+                          help="Mean loss of the last completed epoch.",
+                          labels=labels).set(loss)
+        if elapsed_s > 0.0:
+            ob.registry.gauge(
+                "train_steps_per_second",
+                help="Optimizer steps per second over the last epoch.",
+                labels=labels).set(steps / elapsed_s)

@@ -9,6 +9,7 @@ import numpy as np
 
 from ..data.poi import POI_CATEGORIES, POIDatabase
 from ..model import Trajectory
+from ..perf.cache import CacheStats
 
 __all__ = ["FEATURE_DIM", "FeatureConfig", "FeatureExtractor",
            "subsample_indices"]
@@ -112,6 +113,10 @@ class FeatureExtractor:
         # the front).
         self._cache: OrderedDict[int, tuple[Trajectory, np.ndarray]] \
             = OrderedDict()
+        # Hit/miss/eviction counts live on the shared metrics registry
+        # (repro.obs), same as SegmentFeatureCache and the weight-view
+        # LRU; ``stats`` is the per-instance view.
+        self.stats = CacheStats(name="trajectory_features")
 
     def trajectory_features(self, trajectory: Trajectory) -> np.ndarray:
         """Raw ``(len(trajectory), 32)`` feature matrix (memoized)."""
@@ -119,7 +124,9 @@ class FeatureExtractor:
         cached = self._cache.get(key)
         if cached is not None and cached[0] is trajectory:
             self._cache.move_to_end(key)
+            self.stats.record_hit()
             return cached[1]
+        self.stats.record_miss()
         if self.config.use_poi:
             poi_counts = self.pois.count_categories_batch(
                 trajectory.lats, trajectory.lngs,
@@ -133,6 +140,7 @@ class FeatureExtractor:
             self._cache[key] = (trajectory, features)
             while len(self._cache) > capacity:
                 self._cache.popitem(last=False)
+                self.stats.record_eviction()
         return features
 
     def point_features(self, trajectory: Trajectory,

@@ -32,6 +32,7 @@ from collections import OrderedDict
 
 import numpy as np
 
+from ..obs.metrics import default_registry
 from .tensor import (Tensor, _PRECISION_STATE, active_dtype_name,
                      is_grad_enabled)
 
@@ -105,7 +106,20 @@ def compute_dtype_for(*arrays: np.ndarray) -> np.dtype:
 _VIEW_CACHE: OrderedDict[int, tuple[Tensor, np.ndarray, int, np.ndarray]] \
     = OrderedDict()
 _VIEW_CACHE_MAX = 1024
-_VIEW_STATS = {"hits": 0, "misses": 0, "invalidations": 0}
+# Hit/miss/invalidation counts live on the process-wide metrics
+# registry (repro.obs), so Prometheus exposition and the legacy
+# ``weight_view_stats()`` accessor read the same instruments.
+_VIEW_LABELS = {"cache": "weight_view"}
+_VIEW_HITS = default_registry().counter(
+    "cache_hits_total", help="cache lookups served from cache",
+    labels=_VIEW_LABELS)
+_VIEW_MISSES = default_registry().counter(
+    "cache_misses_total", help="cache lookups that missed",
+    labels=_VIEW_LABELS)
+_VIEW_INVALIDATIONS = default_registry().counter(
+    "weight_view_invalidations_total",
+    help="cached weight views dropped after parameter mutation",
+    labels=_VIEW_LABELS)
 #: The cache is shared by every thread (inference workers and a
 #: concurrently training thread see the same master weights), so all
 #: OrderedDict/stats mutation happens under one lock — get +
@@ -138,10 +152,10 @@ def weight_view(tensor: Tensor, dtype: np.dtype | None = None) -> np.ndarray:
             if (entry[0] is tensor and entry[1] is data
                     and entry[2] == version and entry[3].dtype == dtype):
                 _VIEW_CACHE.move_to_end(key)
-                _VIEW_STATS["hits"] += 1
+                _VIEW_HITS.inc()
                 return entry[3]
-            _VIEW_STATS["invalidations"] += 1
-        _VIEW_STATS["misses"] += 1
+            _VIEW_INVALIDATIONS.inc()
+        _VIEW_MISSES.inc()
         view = np.asarray(data, dtype=dtype)
         view.setflags(write=False)
         _VIEW_CACHE[key] = (tensor, data, version, view)
@@ -165,15 +179,22 @@ def inference_param(tensor: Tensor) -> Tensor:
 
 
 def weight_view_stats() -> dict[str, int]:
-    """Hit/miss/invalidation counters plus the current entry count."""
+    """Hit/miss/invalidation counters plus the current entry count.
+
+    A thin view over the registry counters; the payload shape is
+    unchanged from the pre-registry dict.
+    """
     with _VIEW_LOCK:
-        stats = dict(_VIEW_STATS)
-        stats["entries"] = len(_VIEW_CACHE)
-    return stats
+        entries = len(_VIEW_CACHE)
+    return {"hits": _VIEW_HITS.value, "misses": _VIEW_MISSES.value,
+            "invalidations": _VIEW_INVALIDATIONS.value,
+            "entries": entries}
 
 
 def clear_weight_views() -> None:
     """Drop every cached view (tests and cold benches)."""
     with _VIEW_LOCK:
         _VIEW_CACHE.clear()
-        _VIEW_STATS.update(hits=0, misses=0, invalidations=0)
+    _VIEW_HITS.reset()
+    _VIEW_MISSES.reset()
+    _VIEW_INVALIDATIONS.reset()

@@ -1,0 +1,131 @@
+"""Exporters: Prometheus-style text exposition, aligned tables, trees.
+
+All three renderers are deterministic (sorted keys, no timestamps) so
+they can be golden-tested and diffed across seeded runs.
+"""
+
+from __future__ import annotations
+
+from .metrics import MetricsRegistry
+
+__all__ = ["render_prometheus", "render_table", "render_span_tree",
+           "flatten"]
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition format (one ``# TYPE`` per metric).
+
+    Histograms expand to the conventional ``_bucket``/``_sum``/
+    ``_count`` series with cumulative ``le`` labels.
+    """
+    lines: list[str] = []
+    seen_types: set[str] = set()
+    for instrument in registry.instruments():
+        if instrument.name not in seen_types:
+            seen_types.add(instrument.name)
+            if instrument.help:
+                lines.append(f"# HELP {instrument.name} "
+                             f"{instrument.help}")
+            lines.append(f"# TYPE {instrument.name} {instrument.kind}")
+        if instrument.kind == "histogram":
+            snap = instrument.snapshot()
+            base = dict(instrument.labels)
+            for bound, cum in snap["buckets"].items():
+                labels = dict(base)
+                labels["le"] = bound
+                lines.append(f"{instrument.name}_bucket"
+                             f"{_labels(labels)} {cum}")
+            lines.append(f"{instrument.name}_sum{_labels(base)} "
+                         f"{_num(snap['sum'])}")
+            lines.append(f"{instrument.name}_count{_labels(base)} "
+                         f"{snap['count']}")
+        else:
+            lines.append(f"{instrument.key} {_num(instrument.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return "{" + inner + "}"
+
+
+def _num(value) -> str:
+    """Render ints without a decimal point, floats compactly."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return f"{as_float:g}"
+
+
+def flatten(payload, prefix: str = "") -> dict[str, object]:
+    """Nested dicts → one level of dotted keys (lists join with ``,``)."""
+    flat: dict[str, object] = {}
+    if not isinstance(payload, dict):
+        return {prefix or "value": payload}
+    for key in sorted(payload, key=str):
+        value = payload[key]
+        dotted = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            flat.update(flatten(value, dotted))
+        elif isinstance(value, (list, tuple)):
+            flat[dotted] = ",".join(str(v) for v in value)
+        else:
+            flat[dotted] = value
+    return flat
+
+
+def render_table(payload: dict, title: str | None = None) -> str:
+    """An aligned two-column ``key  value`` table from a nested dict."""
+    flat = flatten(payload)
+    if not flat:
+        return (title + "\n") if title else ""
+    width = max(len(key) for key in flat)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * max(len(title), width + 2))
+    for key, value in flat.items():
+        rendered = _num(value) if isinstance(value, (int, float)) \
+            else str(value)
+        lines.append(f"{key.ljust(width)}  {rendered}")
+    return "\n".join(lines) + "\n"
+
+
+def render_span_tree(spans: list[dict]) -> str:
+    """An indented tree of span dicts (as produced by the tracer/sink).
+
+    Children sort by record sequence, so the tree reflects completion
+    order within each parent; durations print in milliseconds.
+    """
+    by_parent: dict[str | None, list[dict]] = {}
+    ids = {span["span_id"] for span in spans}
+    for span in sorted(spans, key=lambda s: s.get("seq", 0)):
+        parent = span.get("parent_id")
+        if parent not in ids:
+            parent = None   # orphan (e.g. parent span still open)
+        by_parent.setdefault(parent, []).append(span)
+
+    lines: list[str] = []
+
+    def _walk(parent_id: str | None, depth: int) -> None:
+        for span in by_parent.get(parent_id, []):
+            duration_ms = span.get("duration_s", 0.0) * 1e3
+            attrs = span.get("attrs") or {}
+            suffix = ""
+            if attrs:
+                inner = " ".join(f"{k}={attrs[k]}"
+                                 for k in sorted(attrs))
+                suffix = f"  [{inner}]"
+            lines.append(f"{'  ' * depth}{span['name']} "
+                         f"({span['span_id']}) {duration_ms:.2f}ms"
+                         f"{suffix}")
+            _walk(span["span_id"], depth + 1)
+
+    _walk(None, 0)
+    return "\n".join(lines) + ("\n" if lines else "")

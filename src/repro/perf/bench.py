@@ -43,14 +43,22 @@ from ..nn.precision import inference_dtype as nn_inference_dtype
 
 __all__ = ["run_bench", "run_stream_bench", "compare_to_baseline",
            "format_bench_table", "format_stream_bench_table",
-           "GATED_METRICS", "STREAM_GATED_METRICS"]
+           "GATED_METRICS", "STREAM_GATED_METRICS",
+           "TELEMETRY_OVERHEAD_BUDGET_PCT"]
 
-#: Throughput metrics (higher is better) covered by the CI gate.
+#: Metrics covered by the CI gate.  All are higher-is-better throughput
+#: ratios gated against the committed baseline, except
+#: ``telemetry_overhead_pct``, which is gated on an absolute <= 5%
+#: budget (see :func:`compare_to_baseline`).
 GATED_METRICS = ("encode_single_tps", "encode_batch_tps",
                  "encode_batch_f32_tps", "detect_single_tps",
                  "detect_batch_tps", "detect_batch_f32_tps",
                  "train_steps_fused_sps", "preprocess_extract_tps",
-                 "preprocess_filter_tps", "preprocess_poi_pps")
+                 "preprocess_filter_tps", "preprocess_poi_pps",
+                 "telemetry_overhead_pct")
+
+#: Allowed slowdown (percent) of batched detection when telemetry is on.
+TELEMETRY_OVERHEAD_BUDGET_PCT = 5.0
 
 #: Streaming throughput metrics (higher is better) gated by
 #: ``benchmarks/bench_stream.py`` against its committed baseline.
@@ -319,6 +327,18 @@ def run_bench(scale: str | None = None, repeats: int = 3,
     metrics["detect_batch_tps"] = n / batch_s
     metrics["detect_batch_speedup"] = single_s / batch_s
 
+    # -- telemetry overhead -------------------------------------------------
+    # The same batched detection with the observability subsystem active
+    # (spans + per-stage histograms recorded).  The gate budget is an
+    # *absolute* 5% slowdown, checked in compare_to_baseline — telemetry
+    # must stay near-free even when someone turns it on.
+    from ..obs import Observability, observe
+    with observe(Observability(seed=0)):
+        telemetry_s = _best_time(
+            lambda: lead.detect_processed_batch(processed), repeats)
+    metrics["telemetry_overhead_pct"] = max(
+        0.0, (telemetry_s / batch_s - 1.0) * 100.0)
+
     # -- float32 hot path ---------------------------------------------------
     # The same batched entry points under an active float32 inference
     # context; the *_f32_speedup ratios are against the float64 batched
@@ -479,7 +499,16 @@ def compare_to_baseline(current: dict, baseline: dict,
         return failures
     base_metrics = baseline.get("metrics", {})
     cur_metrics = current.get("metrics", {})
+    if "telemetry_overhead_pct" in metrics:
+        overhead = cur_metrics.get("telemetry_overhead_pct")
+        if overhead is not None and overhead > TELEMETRY_OVERHEAD_BUDGET_PCT:
+            failures.append(
+                f"telemetry_overhead_pct: telemetry slows batched "
+                f"detection by {overhead:.2f}% (budget "
+                f"{TELEMETRY_OVERHEAD_BUDGET_PCT:g}%)")
     for key in metrics:
+        if key == "telemetry_overhead_pct":
+            continue     # absolute budget above, not a baseline ratio
         base = base_metrics.get(key)
         cur = cur_metrics.get(key)
         if base is None or cur is None:
@@ -729,6 +758,9 @@ def format_bench_table(payload: dict) -> str:
         rows.insert(5, ("detect (batched, float32)",
                         f"{metrics['detect_batch_f32_tps']:8.2f} traj/s",
                         f"{metrics['detect_batch_f32_speedup']:.1f}x"))
+    if "telemetry_overhead_pct" in metrics:
+        rows.append(("telemetry overhead (detect)",
+                     f"{metrics['telemetry_overhead_pct']:8.2f} %", ""))
     if "preprocess_extract_tps" in metrics:
         rows.append(("stay points (legacy loop)",
                      f"{metrics['preprocess_extract_legacy_tps']:8.2f}"

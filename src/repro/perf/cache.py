@@ -26,22 +26,71 @@ from __future__ import annotations
 
 import hashlib
 from collections import OrderedDict
-from dataclasses import dataclass
 from typing import Hashable
 
 import numpy as np
+
+from ..obs.core import obs_event
+from ..obs.metrics import default_registry, next_instance_id
 
 __all__ = ["CacheStats", "LRUCache", "TrajectoryFingerprinter",
            "SegmentFeatureCache"]
 
 
-@dataclass
 class CacheStats:
-    """Hit/miss/eviction counters of one cache instance."""
+    """Hit/miss/eviction counters of one cache instance.
 
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
+    Since the observability subsystem landed, this is a *view*: the
+    counts live in :func:`repro.obs.metrics.default_registry` as
+    ``cache_{hits,misses,evictions}_total`` counters labelled with the
+    cache name and a per-instance id, so Prometheus exposition and the
+    legacy ``stats`` attribute read the same numbers.  The attribute
+    surface (``hits`` / ``misses`` / ``evictions`` / ``hit_rate`` /
+    ``as_dict``) is unchanged, and ``as_dict`` payloads stay
+    byte-compatible with the pre-registry dataclass.
+    """
+
+    __slots__ = ("_hits", "_misses", "_evictions", "cache_name")
+
+    def __init__(self, name: str = "cache", registry=None) -> None:
+        reg = registry if registry is not None else default_registry()
+        labels = {"cache": name, "instance": str(next_instance_id())}
+        self.cache_name = name
+        self._hits = reg.counter(
+            "cache_hits_total", help="cache lookups served from cache",
+            labels=labels)
+        self._misses = reg.counter(
+            "cache_misses_total", help="cache lookups that missed",
+            labels=labels)
+        self._evictions = reg.counter(
+            "cache_evictions_total", help="entries evicted by LRU",
+            labels=labels)
+
+    # -- recording (cache-internal) ------------------------------------
+    def record_hit(self) -> None:
+        self._hits.inc()
+
+    def record_miss(self) -> None:
+        self._misses.inc()
+
+    def record_eviction(self) -> None:
+        self._evictions.inc()
+        # Visible to operators only while telemetry is active; the
+        # counter above is unconditional.
+        obs_event("cache.evicted", cache=self.cache_name)
+
+    # -- legacy read surface -------------------------------------------
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
 
     @property
     def lookups(self) -> int:
@@ -50,7 +99,8 @@ class CacheStats:
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from the cache (0.0 when unused)."""
-        return self.hits / self.lookups if self.lookups else 0.0
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
 
     def as_dict(self) -> dict[str, float]:
         return {"hits": self.hits, "misses": self.misses,
@@ -67,12 +117,13 @@ class LRUCache:
     caches are independent.
     """
 
-    def __init__(self, maxsize: int | None = 65536) -> None:
+    def __init__(self, maxsize: int | None = 65536,
+                 name: str = "lru") -> None:
         if maxsize is not None and maxsize < 0:
             raise ValueError("maxsize must be >= 0 or None")
         self.maxsize = maxsize
         self._data: OrderedDict[Hashable, object] = OrderedDict()
-        self.stats = CacheStats()
+        self.stats = CacheStats(name=name)
 
     def __len__(self) -> int:
         return len(self._data)
@@ -84,10 +135,10 @@ class LRUCache:
         try:
             value = self._data[key]
         except KeyError:
-            self.stats.misses += 1
+            self.stats.record_miss()
             return default
         self._data.move_to_end(key)
-        self.stats.hits += 1
+        self.stats.record_hit()
         return value
 
     def put(self, key: Hashable, value: object) -> None:
@@ -99,7 +150,7 @@ class LRUCache:
         if self.maxsize is not None:
             while len(self._data) > self.maxsize:
                 self._data.popitem(last=False)
-                self.stats.evictions += 1
+                self.stats.record_eviction()
 
     def clear(self) -> None:
         self._data.clear()
@@ -185,7 +236,7 @@ class SegmentFeatureCache:
     """
 
     def __init__(self, maxsize: int | None = 65536) -> None:
-        self._lru = LRUCache(maxsize)
+        self._lru = LRUCache(maxsize, name="segment_features")
         self._fingerprinter = TrajectoryFingerprinter()
 
     # ------------------------------------------------------------------

@@ -49,6 +49,7 @@ import numpy as np
 
 from ..chaos.core import Fault, chaos_point
 from ..errors import TaskFailedError
+from ..obs.core import obs_span
 
 __all__ = ["spawn_rng", "parallel_map", "effective_workers",
            "CHAOS_WRONG_RESULT"]
@@ -145,25 +146,28 @@ def _run_serial(calls: list[Callable[[T], R]], items: list[T],
     for index, (call, item) in enumerate(zip(calls, items)):
         attempts = 1 if retry is None else retry.max_attempts
         failure: BaseException | None = None
-        for attempt in range(attempts):
-            # The drawn chaos fault applies to the first attempt only;
-            # retries run the task clean (recovery under test).
-            run = call if attempt == 0 else _clean(call)
-            if attempt > 0:
-                _bump(counters, "retries")
-            try:
-                value = run(item)
-            except Exception as exc:
-                failure = exc
-                continue
-            if verify is not None and not verify(value):
-                failure = ValueError("result rejected by verify()")
-                continue
-            failure = None
-            results.append(value)
-            break
-        if failure is not None:
-            raise _fail(index, failure) from failure
+        # In-process tasks inherit the ambient telemetry context, so each
+        # gets a real child span; pool workers run detached (no-op).
+        with obs_span("parallel.task", child_key=str(index), index=index):
+            for attempt in range(attempts):
+                # The drawn chaos fault applies to the first attempt only;
+                # retries run the task clean (recovery under test).
+                run = call if attempt == 0 else _clean(call)
+                if attempt > 0:
+                    _bump(counters, "retries")
+                try:
+                    value = run(item)
+                except Exception as exc:
+                    failure = exc
+                    continue
+                if verify is not None and not verify(value):
+                    failure = ValueError("result rejected by verify()")
+                    continue
+                failure = None
+                results.append(value)
+                break
+            if failure is not None:
+                raise _fail(index, failure) from failure
     return results
 
 
@@ -200,6 +204,13 @@ def parallel_map(fn: Callable[[T], R], items: Iterable[T],
     """
     items = list(items)
     count = effective_workers(workers)
+    with obs_span("parallel.map", tasks=len(items), workers=count):
+        return _map_impl(fn, items, count, chunksize, retry, verify,
+                         counters)
+
+
+def _map_impl(fn, items, count, chunksize, retry, verify,
+              counters) -> list:
     calls = _dispatch_plan(fn, len(items))
     chaotic = any(isinstance(call, _ChaoticTask) for call in calls)
     if count <= 1 or len(items) <= 1:

@@ -28,6 +28,7 @@ per model directory), and ``fit`` checkpoints every epoch when given a
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from functools import partial
 from pathlib import Path
@@ -53,6 +54,7 @@ from ..io import (atomic_write_json, load_checked_json, verify_manifest,
 from ..model import Trajectory
 from ..nn import (CheckpointManager, Tensor, TrainingHistory, inference_dtype,
                   load_module, no_grad, save_module)
+from ..obs.core import active_obs, obs_event, obs_span
 from ..perf.cache import SegmentFeatureCache
 from ..perf.parallel import parallel_map
 from ..processing import ProcessedTrajectory, sanitize_trajectory
@@ -291,9 +293,12 @@ class LEAD:
 
     def encode_candidates(self, processed: ProcessedTrajectory) -> np.ndarray:
         """c-vecs of all candidates in enumeration order, shape (N, 64)."""
-        stay, move = self._segments(processed)
+        with obs_span("detect.featurize",
+                      stays=processed.num_stay_points):
+            stay, move = self._segments(processed)
         pairs = [c.pair for c in processed.candidates]
-        return self.autoencoder.encode_trajectory(stay, move, pairs)
+        with obs_span("detect.encode", candidates=len(pairs)):
+            return self.autoencoder.encode_trajectory(stay, move, pairs)
 
     def encode_candidates_batch(self, processed_list:
                                 list[ProcessedTrajectory]
@@ -307,13 +312,17 @@ class LEAD:
         lines up with the input order).
         """
         stay_lists, move_lists, pairs_lists = [], [], []
-        for processed in processed_list:
-            stay, move = self._segments(processed)
-            stay_lists.append(stay)
-            move_lists.append(move)
-            pairs_lists.append([c.pair for c in processed.candidates])
-        return self.autoencoder.encode_trajectories(stay_lists, move_lists,
-                                                    pairs_lists)
+        with obs_span("detect.featurize",
+                      trajectories=len(processed_list)):
+            for processed in processed_list:
+                stay, move = self._segments(processed)
+                stay_lists.append(stay)
+                move_lists.append(move)
+                pairs_lists.append([c.pair for c in processed.candidates])
+        with obs_span("detect.encode",
+                      candidates=sum(len(p) for p in pairs_lists)):
+            return self.autoencoder.encode_trajectories(
+                stay_lists, move_lists, pairs_lists)
 
     def _build_detector_specs(self, processed) -> list[TrajectorySpec]:
         specs = []
@@ -358,8 +367,11 @@ class LEAD:
         n = processed.num_stay_points
         with no_grad():
             if self.independent_detector is not None:
-                probs = self.independent_detector(Tensor(cvecs)).numpy()
-                return self._checked(merge_distributions(probs))
+                with obs_span("detect.score", direction=direction):
+                    probs = self.independent_detector(
+                        Tensor(cvecs)).numpy()
+                with obs_span("detect.merge"):
+                    return self._checked(merge_distributions(probs))
             if direction == "both" and (self.forward_detector is None
                                         or self.backward_detector is None):
                 missing = ("forward" if self.forward_detector is None
@@ -368,20 +380,22 @@ class LEAD:
                     f"direction 'both' requires both detectors; the "
                     f"{missing} detector is unavailable")
             forward = backward = None
-            if self.forward_detector is not None and direction in (
-                    "both", "forward"):
-                forward = self.forward_detector(
-                    build_forward_group(cvecs, n)).numpy()
-            if self.backward_detector is not None and direction in (
-                    "both", "backward"):
-                backward = self.backward_detector(
-                    build_backward_group(cvecs, n)).numpy()
+            with obs_span("detect.score", direction=direction):
+                if self.forward_detector is not None and direction in (
+                        "both", "forward"):
+                    forward = self.forward_detector(
+                        build_forward_group(cvecs, n)).numpy()
+                if self.backward_detector is not None and direction in (
+                        "both", "backward"):
+                    backward = self.backward_detector(
+                        build_backward_group(cvecs, n)).numpy()
         if forward is None and backward is None:
             raise DetectorUnavailableError(
                 f"direction {direction!r} selects no available detector")
-        if forward is None:
-            return self._checked(merge_distributions(backward))
-        return self._checked(merge_distributions(forward, backward))
+        with obs_span("detect.merge"):
+            if forward is None:
+                return self._checked(merge_distributions(backward))
+            return self._checked(merge_distributions(forward, backward))
 
     @staticmethod
     def _checked(distribution: np.ndarray) -> np.ndarray:
@@ -472,6 +486,9 @@ class LEAD:
                 self._precision_notes = (
                     "precision: float32 parity gate could not run "
                     f"({exc}); fell back to float64",)
+                obs_event("precision.fallback", reason="gate-error",
+                          error=str(exc),
+                          policy=self.config.inference_dtype)
             return report
         agreements = 0
         max_divergence = 0.0
@@ -519,6 +536,11 @@ class LEAD:
                     if max_divergence > margin else (
                     "precision: float32 parity gate failed "
                     f"(agreement={agreement:.3f}); fell back to float64",)
+                obs_event("precision.fallback", reason="gate-failed",
+                          agreement=agreement,
+                          max_abs_divergence=max_divergence,
+                          margin=float(margin),
+                          policy=self.config.inference_dtype)
         return report
 
     @property
@@ -569,10 +591,12 @@ class LEAD:
         ns = [p.num_stay_points for p in processed_list]
         with no_grad():
             if self.independent_detector is not None:
-                probs = self.independent_detector(
-                    Tensor(np.concatenate(cvecs_list, axis=0))).numpy()
-                return [merge_distributions(probs[int(a):int(b)])
-                        for a, b in zip(offsets[:-1], offsets[1:])]
+                with obs_span("detect.score", direction=direction):
+                    probs = self.independent_detector(
+                        Tensor(np.concatenate(cvecs_list, axis=0))).numpy()
+                with obs_span("detect.merge"):
+                    return [merge_distributions(probs[int(a):int(b)])
+                            for a, b in zip(offsets[:-1], offsets[1:])]
             if direction == "both" and (self.forward_detector is None
                                         or self.backward_detector is None):
                 missing = ("forward" if self.forward_detector is None
@@ -582,31 +606,37 @@ class LEAD:
                     f"{missing} detector is unavailable")
             forward = backward = None
             all_cvecs = Tensor(np.concatenate(cvecs_list, axis=0))
-            if self.forward_detector is not None and direction in (
-                    "both", "forward"):
-                maps: list[np.ndarray] = []
-                for n, off in zip(ns, offsets[:-1]):
-                    maps.extend(m + int(off) for m in forward_index_maps(n))
-                forward = self.forward_detector.score_indexed(
-                    all_cvecs, maps, segments=counts, bucket=True).numpy()
-            if self.backward_detector is not None and direction in (
-                    "both", "backward"):
-                maps = []
-                for n, off in zip(ns, offsets[:-1]):
-                    maps.extend(m + int(off) for m in backward_index_maps(n))
-                backward = self.backward_detector.score_indexed(
-                    all_cvecs, maps, segments=counts, bucket=True).numpy()
+            with obs_span("detect.score", direction=direction):
+                if self.forward_detector is not None and direction in (
+                        "both", "forward"):
+                    maps: list[np.ndarray] = []
+                    for n, off in zip(ns, offsets[:-1]):
+                        maps.extend(m + int(off)
+                                    for m in forward_index_maps(n))
+                    forward = self.forward_detector.score_indexed(
+                        all_cvecs, maps, segments=counts,
+                        bucket=True).numpy()
+                if self.backward_detector is not None and direction in (
+                        "both", "backward"):
+                    maps = []
+                    for n, off in zip(ns, offsets[:-1]):
+                        maps.extend(m + int(off)
+                                    for m in backward_index_maps(n))
+                    backward = self.backward_detector.score_indexed(
+                        all_cvecs, maps, segments=counts,
+                        bucket=True).numpy()
         if forward is None and backward is None:
             raise DetectorUnavailableError(
                 f"direction {direction!r} selects no available detector")
         out: list[np.ndarray] = []
-        for a, b in zip(offsets[:-1], offsets[1:]):
-            fwd = None if forward is None else forward[int(a):int(b)]
-            bwd = None if backward is None else backward[int(a):int(b)]
-            if fwd is None:
-                out.append(merge_distributions(bwd))
-            else:
-                out.append(merge_distributions(fwd, bwd))
+        with obs_span("detect.merge"):
+            for a, b in zip(offsets[:-1], offsets[1:]):
+                fwd = None if forward is None else forward[int(a):int(b)]
+                bwd = None if backward is None else backward[int(a):int(b)]
+                if fwd is None:
+                    out.append(merge_distributions(bwd))
+                else:
+                    out.append(merge_distributions(fwd, bwd))
         return out
 
     def predict_distribution_batch(self,
@@ -644,6 +674,51 @@ class LEAD:
                                            DetectionProvenance(tier=tier)))
         return results
 
+    # ------------------------------------------------------------------
+    # Telemetry plumbing (no-ops unless a bundle is active; see
+    # repro.obs — outputs are bit-identical with telemetry on or off,
+    # except that degraded provenance gains an event-correlating note)
+    # ------------------------------------------------------------------
+    def _observed(self, name: str, fn, **attrs):
+        """Run ``fn`` inside a root span + latency histogram."""
+        ob = active_obs()
+        if ob is None:
+            return fn()
+        start = time.perf_counter()
+        with ob.tracer.span(name, **attrs):
+            result = fn()
+        ob.registry.histogram(
+            "lead_latency_seconds", help="wall time of LEAD entry points",
+            labels={"op": name}).observe(time.perf_counter() - start)
+        return result
+
+    def _degradation_note(self, tier: str, notes: list[str],
+                          sanitized: bool,
+                          compute_dtype: str) -> str | None:
+        """Emit a ``detection.degraded`` event; return the note citing it.
+
+        The returned note (``obs: degradation event e000123``) is
+        appended to the verdict's provenance, so an auditor can join a
+        degraded result to the structured event that explains it.  When
+        telemetry is off, no note is added and provenance is
+        byte-identical to the pre-obs pipeline.
+        """
+        event = obs_event("detection.degraded", tier=tier,
+                          sanitized=sanitized,
+                          compute_dtype=compute_dtype, notes=list(notes))
+        if event is None:
+            return None
+        return f"obs: degradation event {event['id']}"
+
+    @staticmethod
+    def _count_verdict(tier: str) -> None:
+        ob = active_obs()
+        if ob is not None:
+            ob.registry.counter(
+                "detect_verdicts_total",
+                help="detection verdicts by answering tier",
+                labels={"tier": tier}).inc()
+
     def detect_batch(self, trajectories: list[Trajectory]
                      ) -> list[DetectionResult | None]:
         """Fleet-scale :meth:`detect`: many raw trajectories, one pass.
@@ -659,24 +734,36 @@ class LEAD:
         where :meth:`detect` would return ``None``.
         """
         self._require_fitted()
+        return self._observed("detect_batch",
+                              lambda: self._detect_batch_impl(trajectories),
+                              trajectories=len(trajectories))
+
+    def _detect_batch_impl(self, trajectories: list[Trajectory]
+                           ) -> list[DetectionResult | None]:
         results: list[DetectionResult | None] = [None] * len(trajectories)
         pending_idx: list[int] = []
         pending_processed: list[ProcessedTrajectory] = []
         pending_notes: list[list[str]] = []
-        for idx, trajectory in enumerate(trajectories):
-            try:
-                trajectory, sanitize_notes = sanitize_trajectory(trajectory)
-            except InvalidTrajectoryError:
-                continue
-            try:
-                processed = self.processor.process(trajectory)
-            except (ValueError, ArithmeticError):
-                continue
-            if processed is None:
-                continue
-            pending_idx.append(idx)
-            pending_processed.append(processed)
-            pending_notes.append(list(sanitize_notes))
+        survivors: list[tuple[int, Trajectory, list[str]]] = []
+        with obs_span("detect.sanitize"):
+            for idx, trajectory in enumerate(trajectories):
+                try:
+                    trajectory, sanitize_notes = \
+                        sanitize_trajectory(trajectory)
+                except InvalidTrajectoryError:
+                    continue
+                survivors.append((idx, trajectory, list(sanitize_notes)))
+        with obs_span("detect.extract"):
+            for idx, trajectory, sanitize_notes in survivors:
+                try:
+                    processed = self.processor.process(trajectory)
+                except (ValueError, ArithmeticError):
+                    continue
+                if processed is None:
+                    continue
+                pending_idx.append(idx)
+                pending_processed.append(processed)
+                pending_notes.append(sanitize_notes)
         detected = self._detect_many_with_degradation(pending_processed,
                                                       pending_notes)
         for idx, result in zip(pending_idx, detected):
@@ -706,8 +793,11 @@ class LEAD:
             raise ValueError(
                 f"notes_list length {len(notes_list)} != processed_list "
                 f"length {len(processed_list)}")
-        return self._detect_many_with_degradation(
-            processed_list, [list(n) for n in notes_list])
+        return self._observed(
+            "detect_many",
+            lambda: self._detect_many_with_degradation(
+                processed_list, [list(n) for n in notes_list]),
+            trajectories=len(processed_list))
 
     def _detect_many_with_degradation(
             self, processed_list: list[ProcessedTrajectory],
@@ -737,6 +827,8 @@ class LEAD:
                     raw = self._predict_many(
                         [processed_list[k] for k in pending], direction)
             except DetectorUnavailableError as exc:
+                obs_event("detection.tier_failed", tier=tier,
+                          error=str(exc), trajectories=len(pending))
                 for k in pending:
                     notes[k].append(f"tier {tier!r} failed: {exc}")
                 continue
@@ -746,12 +838,20 @@ class LEAD:
                     exc = NumericalInstabilityError(
                         "detector produced a non-finite probability "
                         "distribution")
+                    obs_event("detection.tier_failed", tier=tier,
+                              error=str(exc), trajectories=1)
                     notes[k].append(f"tier {tier!r} failed: {exc}")
                     unresolved.append(k)
                     continue
                 processed = processed_list[k]
                 pair = index_to_pair(processed.num_stay_points,
                                      int(np.argmax(distribution)))
+                if tier not in ("both", "independent"):
+                    extra = self._degradation_note(
+                        tier, notes[k], sanitized[k], compute_dtype)
+                    if extra is not None:
+                        notes[k].append(extra)
+                self._count_verdict(tier)
                 results[k] = DetectionResult(
                     pair, distribution, processed,
                     DetectionProvenance(tier=tier, sanitized=sanitized[k],
@@ -773,9 +873,16 @@ class LEAD:
         :class:`NotFittedError` (API misuse, not input hostility).
         """
         self._require_fitted()
+        return self._observed("detect",
+                              lambda: self._detect_impl(trajectory))
+
+    def _detect_impl(self, trajectory: Trajectory
+                     ) -> DetectionResult | None:
         notes: list[str] = []
         try:
-            trajectory, sanitize_notes = sanitize_trajectory(trajectory)
+            with obs_span("detect.sanitize"):
+                trajectory, sanitize_notes = \
+                    sanitize_trajectory(trajectory)
         except InvalidTrajectoryError as exc:
             # Unsalvageable input: report "no detection" like too-few
             # stay points rather than crashing a serving loop.
@@ -783,7 +890,8 @@ class LEAD:
             return None
         notes.extend(sanitize_notes)
         try:
-            processed = self.processor.process(trajectory)
+            with obs_span("detect.extract"):
+                processed = self.processor.process(trajectory)
         except (ValueError, ArithmeticError):
             return None
         if processed is None:
@@ -807,10 +915,18 @@ class LEAD:
                                                              direction)
             except (DetectorUnavailableError,
                     NumericalInstabilityError) as exc:
+                obs_event("detection.tier_failed", tier=tier,
+                          error=str(exc), trajectories=1)
                 notes = notes + [f"tier {tier!r} failed: {exc}"]
                 continue
             pair = index_to_pair(processed.num_stay_points,
                                  int(np.argmax(distribution)))
+            if tier not in ("both", "independent"):
+                extra = self._degradation_note(tier, notes, sanitized,
+                                               compute_dtype)
+                if extra is not None:
+                    notes = notes + [extra]
+            self._count_verdict(tier)
             return DetectionResult(
                 pair, distribution, processed,
                 DetectionProvenance(tier=tier, sanitized=sanitized,
@@ -830,17 +946,29 @@ class LEAD:
                 pair = tuple(self.fallback_detector.detect(processed))
                 distribution = uniform.copy()
                 distribution[processed.candidate_index(pair)] = 1.0
+                extra = self._degradation_note("sp-r", notes, sanitized,
+                                               "float64")
+                if extra is not None:
+                    notes = notes + [extra]
+                self._count_verdict("sp-r")
                 return DetectionResult(
                     pair, distribution, processed,
                     DetectionProvenance(tier="sp-r", sanitized=sanitized,
                                         notes=tuple(notes)))
             except (ValueError, KeyError, ArithmeticError) as exc:
+                obs_event("detection.tier_failed", tier="sp-r",
+                          error=str(exc), trajectories=1)
                 notes = notes + [f"tier 'sp-r' failed: {exc}"]
         # Terminal heuristic: the first->last candidate, the single most
         # common loaded pattern in a one-day haul (depot out, depot back).
         pair = (1, n)
         distribution = uniform.copy()
         distribution[processed.candidate_index(pair)] = 1.0
+        extra = self._degradation_note("heuristic", notes, sanitized,
+                                       "float64")
+        if extra is not None:
+            notes = notes + [extra]
+        self._count_verdict("heuristic")
         return DetectionResult(
             pair, distribution, processed,
             DetectionProvenance(tier="heuristic", sanitized=sanitized,

@@ -36,6 +36,7 @@ errors (``config`` misuse) still raise.
 
 from __future__ import annotations
 
+import time
 import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -45,6 +46,7 @@ from urllib.parse import quote
 from ..chaos.core import InjectedFault, chaos_point
 from ..errors import ArtifactCorruptedError
 from ..io import atomic_write_json, load_checked_json
+from ..obs.core import active_obs, obs_event
 from ..processing import RawTrajectoryProcessor
 from ..supervise import CircuitBreaker, Quarantine, RetryPolicy
 from .session import SessionCounters, TruckSession
@@ -222,6 +224,8 @@ class FleetSessionManager:
         except (ArtifactCorruptedError, OSError, KeyError, TypeError,
                 ValueError) as exc:
             self.counters.restore_failures += 1
+            obs_event("fleet.restore_failed", truck_id=key[0],
+                      day=key[1], path=str(path), reason=str(exc))
             self.quarantine.record(
                 f"{key[0]}|{key[1]}", "restore", exc,
                 metadata={"path": str(path)})
@@ -251,9 +255,15 @@ class FleetSessionManager:
                 self._known.pop(key, None)
                 self.counters.sessions_dropped += 1
                 self.counters.sessions_evicted += 1
+                obs_event("fleet.session_dropped", truck_id=key[0],
+                          day=key[1],
+                          reason="evicted with no checkpoint dir; "
+                                 "state lost")
                 continue
             if not self.spill_breaker.allow():
                 self.counters.spill_skipped_breaker += 1
+                obs_event("fleet.spill_skipped", truck_id=key[0],
+                          day=key[1], reason="spill breaker open")
                 self._keep_resident(key, session)
                 return
             try:
@@ -262,6 +272,8 @@ class FleetSessionManager:
             except OSError as exc:
                 self.spill_breaker.record_failure()
                 self.counters.spill_failures += 1
+                obs_event("fleet.spill_failed", truck_id=key[0],
+                          day=key[1], path=str(path), reason=str(exc))
                 warnings.warn(
                     f"failed to spill session {key[0]}/{key[1]} to "
                     f"{path} ({exc}); keeping it resident",
@@ -297,6 +309,20 @@ class FleetSessionManager:
         escape: a failing session is quarantined (its verdict reports
         ``confidence="none"``), the rest of the fleet proceeds.
         """
+        ob = active_obs()
+        if ob is None:
+            return self._tick_impl()
+        start = time.perf_counter()
+        with ob.tracer.span("fleet.tick", resident=len(self._sessions)):
+            verdicts = self._tick_impl()
+        ob.registry.histogram(
+            "fleet_tick_seconds",
+            help="wall time of fleet detection ticks").observe(
+                time.perf_counter() - start)
+        self._publish_metrics(ob)
+        return verdicts
+
+    def _tick_impl(self) -> list[ProvisionalVerdict]:
         self._tick_index += 1
         self.counters.ticks += 1
         verdicts: list[ProvisionalVerdict] = []
@@ -363,6 +389,9 @@ class FleetSessionManager:
         tick it died on.
         """
         key = (session.truck_id, session.day)
+        obs_event("fleet.quarantined", truck_id=session.truck_id,
+                  day=session.day, stage=stage, error=str(exc),
+                  tick=self._tick_index)
         self.quarantine.record(
             self._chaos_key(session), stage, exc,
             attempts=self.config.detect_attempts,
@@ -518,6 +547,21 @@ class FleetSessionManager:
 
     def _flush_keys(self, keys: list[SessionKey]
                     ) -> list[ProvisionalVerdict]:
+        ob = active_obs()
+        if ob is None:
+            return self._flush_keys_impl(keys)
+        start = time.perf_counter()
+        with ob.tracer.span("fleet.flush", sessions=len(keys)):
+            verdicts = self._flush_keys_impl(keys)
+        ob.registry.histogram(
+            "fleet_flush_seconds",
+            help="wall time of fleet flush chunks").observe(
+                time.perf_counter() - start)
+        self._publish_metrics(ob)
+        return verdicts
+
+    def _flush_keys_impl(self, keys: list[SessionKey]
+                         ) -> list[ProvisionalVerdict]:
         sessions = []
         for key in keys:
             session = self._session(key)
@@ -540,6 +584,28 @@ class FleetSessionManager:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def _publish_metrics(self, ob) -> None:
+        """Mirror the manager's counters onto the active registry.
+
+        Gauges are *set* from the authoritative counter structs (rather
+        than incremented in line) so one publish after each tick/flush
+        is both cheap and always consistent with ``stats()``.
+        """
+        registry = ob.registry
+        registry.gauge("fleet_resident_sessions",
+                       help="sessions currently in memory").set(
+                           len(self._sessions))
+        registry.gauge("fleet_known_sessions",
+                       help="unflushed sessions ever seen").set(
+                           len(self._known))
+        for name, value in self.counters.as_dict().items():
+            registry.gauge(f"fleet_{name}",
+                           help="FleetCounters mirror").set(value)
+        for name, value in self.session_totals().as_dict().items():
+            registry.gauge(f"fleet_sessions_{name}",
+                           help="aggregate SessionCounters mirror").set(
+                               value)
+
     def session_totals(self) -> SessionCounters:
         """Aggregated session counters (flushed + resident sessions)."""
         totals = SessionCounters()

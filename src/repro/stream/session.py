@@ -38,6 +38,7 @@ import numpy as np
 
 from ..geo import haversine_m, speed_kmh
 from ..model import StayPoint, Trajectory
+from ..obs.core import obs_event
 from ..processing import (ProcessedTrajectory, RawTrajectoryProcessor,
                           ReorderBuffer, extract_move_points)
 
@@ -134,11 +135,17 @@ class TruckSession:
         lat, lng, t = float(lat), float(lng), float(t)
         if not _is_valid_fix(lat, lng, t):
             self.counters.pings_dropped_invalid += 1
+            self._emit_drop("invalid", 1)
             return 0
         stats = self._reorder.stats
         dropped, reordered = stats.dropped, stats.reordered
         released = self._reorder.push(lat, lng, t)
-        self.counters.pings_dropped_late += stats.dropped - dropped
+        late = stats.dropped - dropped
+        if late:
+            # Reorder-buffer loss was previously visible only in local
+            # counters; the event makes it auditable fleet-wide.
+            self.counters.pings_dropped_late += late
+            self._emit_drop("late", late)
         self.counters.pings_reordered += stats.reordered - reordered
         if len(released) == 1:
             # The common in-order case: one fix in, one fix out.  The
@@ -171,7 +178,10 @@ class TruckSession:
             return 0
         valid = (np.isfinite(lats) & np.isfinite(lngs) & np.isfinite(ts)
                  & (np.abs(lats) <= 90.0) & (np.abs(lngs) <= 180.0))
-        self.counters.pings_dropped_invalid += count - int(valid.sum())
+        invalid = count - int(valid.sum())
+        if invalid:
+            self.counters.pings_dropped_invalid += invalid
+            self._emit_drop("invalid", invalid)
         stats = self._reorder.stats
         dropped, reordered = stats.dropped, stats.reordered
         released: list[tuple[float, float, float]] = []
@@ -179,9 +189,23 @@ class TruckSession:
         for i in np.flatnonzero(valid):
             released.extend(push(float(lats[i]), float(lngs[i]),
                                  float(ts[i])))
-        self.counters.pings_dropped_late += stats.dropped - dropped
+        late = stats.dropped - dropped
+        if late:
+            self.counters.pings_dropped_late += late
+            self._emit_drop("late", late)
         self.counters.pings_reordered += stats.reordered - reordered
         return self._accept_batch(released)
+
+    def _emit_drop(self, reason: str, count: int) -> None:
+        """Structured audit trail for data loss (no-op without telemetry).
+
+        ``invalid`` = non-finite/out-of-range fixes, ``late`` = behind
+        the reorder horizon (ReorderBuffer drops).  Noise-filter
+        rejections are intentional cleaning, not loss, and stay
+        counters-only.
+        """
+        obs_event("stream.ping_dropped", truck_id=self.truck_id,
+                  day=self.day, reason=reason, count=count)
 
     def _accept(self, lat: float, lng: float, t: float) -> int:
         """One sanitized, in-order fix: noise filter then scanner."""

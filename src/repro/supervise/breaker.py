@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Callable, TypeVar
 
 from ..errors import CircuitOpenError
+from ..obs.core import obs_event
 
 __all__ = ["CircuitBreaker"]
 
@@ -69,7 +70,7 @@ class CircuitBreaker:
             return True
         if self.state == "open":
             if self._now() - self._opened_at >= self.cooldown:
-                self.state = "half_open"
+                self._transition("half_open")
                 self.probes += 1
                 return True
             self.rejections += 1
@@ -82,7 +83,7 @@ class CircuitBreaker:
         self.successes += 1
         self.consecutive_failures = 0
         if self.state != "closed":
-            self.state = "closed"
+            self._transition("closed")
 
     def record_failure(self) -> None:
         self.failures += 1
@@ -91,8 +92,16 @@ class CircuitBreaker:
                 or self.consecutive_failures >= self.failure_threshold):
             if self.state != "open":
                 self.trips += 1
-            self.state = "open"
+                self._transition("open")
             self._opened_at = self._now()
+
+    def _transition(self, new_state: str) -> None:
+        """Change state, leaving a structured audit event when
+        telemetry is active."""
+        obs_event("breaker.transition", name=self.name,
+                  from_state=self.state, to_state=new_state,
+                  consecutive_failures=self.consecutive_failures)
+        self.state = new_state
 
     # ------------------------------------------------------------------
     def call(self, fn: Callable[..., R], *args, **kwargs) -> R:

@@ -20,6 +20,7 @@ from pathlib import Path
 from urllib.parse import quote
 
 from ..io import atomic_write_json, load_checked_json
+from ..obs.core import obs_event
 
 __all__ = ["QuarantineEntry", "Quarantine"]
 
@@ -91,6 +92,9 @@ class Quarantine:
             error_type=type(exc).__name__, error=str(exc),
             attempts=int(attempts), metadata=dict(metadata or {}))
         self._entries.append(entry)
+        obs_event("quarantine.recorded", key=entry.key, stage=entry.stage,
+                  error_type=entry.error_type, error=entry.error,
+                  seq=entry.seq)
         if self.directory is not None:
             name = quote(f"{entry.seq:06d}_{entry.key}", safe="")
             try:

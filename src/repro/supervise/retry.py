@@ -23,6 +23,8 @@ from typing import Callable, TypeVar
 
 import numpy as np
 
+from ..obs.core import obs_event
+
 __all__ = ["RetryPolicy", "RetryCounters"]
 
 R = TypeVar("R")
@@ -125,8 +127,12 @@ class RetryPolicy:
                 failure = exc
             if attempt + 1 >= self.max_attempts:
                 self.counters.exhausted += 1
+                obs_event("retry.exhausted", key=int(key),
+                          attempts=self.max_attempts, error=str(failure))
                 raise failure
             self.counters.retries += 1
+            obs_event("retry.attempt", key=int(key), attempt=attempt + 2,
+                      error=str(failure))
             sleep(delays[attempt])
         raise AssertionError("unreachable")  # pragma: no cover
 
