@@ -57,6 +57,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="committed BENCH_stream json to gate "
                              "against; exits 2 on regression")
     parser.add_argument("--max-regression", type=float, default=2.0)
+    parser.add_argument("--min-serve-scaling", type=float, default=None,
+                        help="fail unless serve_ingest_pps is at least "
+                             "this multiple of stream_ingest_pps; used "
+                             "when regenerating the committed "
+                             "default-scale artifact, which pins the "
+                             ">= 2x sharded-serve claim")
     args = parser.parse_args(argv)
     payload = run_stream_bench(scale=args.scale, repeats=args.repeats,
                                num_ticks=args.ticks)
@@ -72,6 +78,15 @@ def main(argv: list[str] | None = None) -> int:
         print("FAIL: late ticks re-featurized closed segments "
               "(suffix-only refeaturization broken)", file=sys.stderr)
         return 2
+    if args.min_serve_scaling is not None:
+        scaling = payload["metrics"]["serve_scaling"]
+        if scaling < args.min_serve_scaling:
+            print(f"FAIL: serve_ingest_pps is only {scaling:.2f}x "
+                  f"stream_ingest_pps (need "
+                  f">= {args.min_serve_scaling:g}x)", file=sys.stderr)
+            return 2
+        print(f"serve scaling {scaling:.2f}x >= "
+              f"{args.min_serve_scaling:g}x")
     if args.baseline is not None:
         with open(args.baseline, "r", encoding="utf-8") as handle:
             baseline = json.load(handle)

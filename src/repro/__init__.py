@@ -17,76 +17,96 @@ Quickstart::
     lead.fit(train.samples)
     result = lead.detect(test[0].trajectory)
     print(result.pair)
+
+The stable public surface lives in :mod:`repro.api`; this package
+lazily forwards to it (PEP 562), so ``import repro`` stays cheap and
+``from repro import LEAD`` only pays for the subsystems it touches.
+Legacy names outside the covenant keep resolving through the table
+below for backward compatibility.
 """
 
-from .errors import (ArtifactCorruptedError, CheckpointCorruptedError,
-                     CircuitOpenError, DetectorUnavailableError,
-                     InvalidTrajectoryError, NotFittedError,
-                     NumericalInstabilityError, ReproError,
-                     TaskFailedError)
-from .model import (CandidateTrajectory, GPSPoint, LoadedLabel, MovePoint,
-                    StayPoint, TimeInterval, Trajectory)
-from .data import (DatasetConfig, HCTDataset, LabeledSample, POIDatabase,
-                   SimulatorConfig, SyntheticWorld, TruckDaySimulator,
-                   WorldConfig, generate_dataset, make_fleet)
-from .processing import (CandidateGenerator, NoiseFilter,
-                         ProcessedTrajectory, RawTrajectoryProcessor,
-                         StayPointExtractor, sanitize_trajectory,
-                         trajectory_from_raw)
-from .features import (CandidateFeaturizer, FeatureConfig, FeatureExtractor,
-                       ZScoreNormalizer)
-from .encoding import (AutoencoderTrainer, AutoencoderTrainingConfig,
-                       EncoderConfig, HierarchicalAutoencoder)
-from .detection import (DetectorSample, DetectorTrainer,
-                        DetectorTrainingConfig, GroupDetector,
-                        IndependentDetector)
-from .baselines import SPNNDetector, SPRDetector
-from .pipeline import (DetectionProvenance, DetectionResult, FitReport,
-                       LEAD, LEADConfig, VARIANT_NAMES, variant_config)
-from .eval import (DetectionRecord, accuracy, accuracy_by_bucket,
-                   evaluate_detector, prepare_test_set)
-from .analysis import (Waybill, audit_detection, find_unregistered_sites,
-                       waybill_from_detection)
-from .perf import (LRUCache, SegmentFeatureCache, parallel_map, run_bench,
-                   spawn_rng)
-from .stream import (FleetConfig, FleetSessionManager, ProvisionalVerdict,
-                     TruckSession)
-from .supervise import (CircuitBreaker, Quarantine, QuarantineEntry,
-                        RetryPolicy)
-from .chaos import ChaosEngine, FaultSpec, InjectedFault
+from importlib import import_module
 
 __version__ = "1.0.0"
 
-__all__ = [
-    "GPSPoint", "Trajectory", "StayPoint", "MovePoint",
-    "CandidateTrajectory", "TimeInterval", "LoadedLabel",
-    "POIDatabase", "SyntheticWorld", "WorldConfig", "SimulatorConfig",
-    "TruckDaySimulator", "make_fleet", "DatasetConfig", "HCTDataset",
-    "LabeledSample", "generate_dataset",
-    "NoiseFilter", "StayPointExtractor", "CandidateGenerator",
-    "RawTrajectoryProcessor", "ProcessedTrajectory",
-    "FeatureConfig", "FeatureExtractor", "CandidateFeaturizer",
-    "ZScoreNormalizer",
-    "EncoderConfig", "HierarchicalAutoencoder", "AutoencoderTrainer",
-    "AutoencoderTrainingConfig",
-    "GroupDetector", "IndependentDetector", "DetectorSample",
-    "DetectorTrainer", "DetectorTrainingConfig",
-    "SPRDetector", "SPNNDetector",
+#: Names outside the :mod:`repro.api` covenant that remain importable
+#: from ``repro`` for backward compatibility, keyed to their home
+#: submodule.  New code should import from ``repro`` (covenant names)
+#: or from the owning subpackage directly.
+_LEGACY = {
+    # model substrate
+    "GPSPoint": "model", "Trajectory": "model", "StayPoint": "model",
+    "MovePoint": "model", "CandidateTrajectory": "model",
+    "TimeInterval": "model", "LoadedLabel": "model",
+    # data
+    "SimulatorConfig": "data", "TruckDaySimulator": "data",
+    "make_fleet": "data",
+    # processing
+    "NoiseFilter": "processing", "StayPointExtractor": "processing",
+    "CandidateGenerator": "processing",
+    "RawTrajectoryProcessor": "processing",
+    "ProcessedTrajectory": "processing",
+    "sanitize_trajectory": "processing",
+    "trajectory_from_raw": "processing",
+    # features / encoding / detection
+    "FeatureConfig": "features", "FeatureExtractor": "features",
+    "CandidateFeaturizer": "features", "ZScoreNormalizer": "features",
+    "EncoderConfig": "encoding", "HierarchicalAutoencoder": "encoding",
+    "AutoencoderTrainer": "encoding",
+    "AutoencoderTrainingConfig": "encoding",
+    "GroupDetector": "detection", "IndependentDetector": "detection",
+    "DetectorSample": "detection", "DetectorTrainer": "detection",
+    "DetectorTrainingConfig": "detection",
+    # baselines / eval / analysis
+    "SPRDetector": "baselines", "SPNNDetector": "baselines",
+    "DetectionRecord": "eval", "accuracy": "eval",
+    "accuracy_by_bucket": "eval", "evaluate_detector": "eval",
+    "prepare_test_set": "eval",
+    "Waybill": "analysis", "waybill_from_detection": "analysis",
+    "audit_detection": "analysis", "find_unregistered_sites": "analysis",
+    # errors
+    "ArtifactCorruptedError": "errors",
+    "CheckpointCorruptedError": "errors", "CircuitOpenError": "errors",
+    "DetectorUnavailableError": "errors",
+    "InvalidTrajectoryError": "errors", "NotFittedError": "errors",
+    "NumericalInstabilityError": "errors", "TaskFailedError": "errors",
+    # perf / supervise / chaos
+    "LRUCache": "perf", "SegmentFeatureCache": "perf",
+    "parallel_map": "perf", "spawn_rng": "perf", "run_bench": "perf",
+    "Quarantine": "supervise", "QuarantineEntry": "supervise",
+    "InjectedFault": "chaos",
+}
+
+#: Covenant names (resolved through :mod:`repro.api`).
+_API_NAMES = frozenset((
+    "DatasetConfig", "HCTDataset", "LabeledSample", "POIDatabase",
+    "SyntheticWorld", "WorldConfig", "generate_dataset",
     "LEAD", "LEADConfig", "DetectionResult", "DetectionProvenance",
     "FitReport", "VARIANT_NAMES", "variant_config",
-    "ReproError", "ArtifactCorruptedError", "CheckpointCorruptedError",
-    "NotFittedError", "InvalidTrajectoryError", "DetectorUnavailableError",
-    "NumericalInstabilityError", "TaskFailedError", "CircuitOpenError",
-    "sanitize_trajectory", "trajectory_from_raw",
-    "DetectionRecord", "accuracy", "accuracy_by_bucket",
-    "evaluate_detector", "prepare_test_set",
-    "Waybill", "waybill_from_detection", "audit_detection",
-    "find_unregistered_sites",
-    "LRUCache", "SegmentFeatureCache", "parallel_map", "spawn_rng",
-    "run_bench",
-    "TruckSession", "FleetConfig", "FleetSessionManager",
-    "ProvisionalVerdict",
-    "RetryPolicy", "CircuitBreaker", "Quarantine", "QuarantineEntry",
-    "ChaosEngine", "FaultSpec", "InjectedFault",
-    "__version__",
-]
+    "FleetConfig", "FleetSessionManager", "Ping", "ProvisionalVerdict",
+    "TruckSession", "dataset_ping_stream",
+    "FleetService", "ServeConfig", "ServeError", "SubmitResult",
+    "shard_for",
+    "ChaosEngine", "FaultSpec", "CircuitBreaker", "RetryPolicy",
+    "ConfigMixin", "config_from_dict", "config_to_dict",
+    "Observability", "observe", "ReproError",
+    "inference_dtype", "use_fused",
+))
+
+__all__ = sorted(_API_NAMES | set(_LEGACY) | {"__version__"})
+
+
+def __getattr__(name: str):
+    if name in _API_NAMES:
+        value = getattr(import_module("repro.api"), name)
+    elif name in _LEGACY:
+        value = getattr(import_module(f"repro.{_LEGACY[name]}"), name)
+    else:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    globals()[name] = value   # cache: next access skips __getattr__
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

@@ -23,6 +23,8 @@ Fault sites instrumented across the repository::
     detector.batch   fleet batched detect   fail
     detector.forward fleet per-session      fail   (key = "truck|day")
     fleet.snapshot   fleet snapshot build   fail   (key = "truck|day")
+    serve.worker     FleetService submit    kill | crash | hang
+                                                   (key = shard index)
 
 The injected faults are *additive or recoverable by design*: an engine
 only ever raises injected exceptions, emits extra hostile pings, or

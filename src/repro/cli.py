@@ -10,15 +10,26 @@ Subcommands::
     python -m repro.cli tables   --scale small
     python -m repro.cli bench    --scale tiny --out BENCH_lead.json
     python -m repro.cli stream   --data data.json.gz --model model/
+    python -m repro.cli serve    --data data.json.gz --model model/ --shards 4
+    python -m repro.cli serve    --soak --shards 4 --kill-shard 1
     python -m repro.cli obs      telemetry.jsonl
 
 ``generate``/``train``/``detect``/``evaluate`` operate on explicit files;
-``detect``/``train``/``stream``/``chaos`` accept ``--telemetry PATH`` to
-record a JSONL trace (spans, structured events, metrics) that ``obs``
-renders; telemetry is off by default and costs nothing when off.
+``detect``/``train``/``stream``/``serve``/``chaos`` accept ``--telemetry
+PATH`` to record a JSONL trace (spans, structured events, metrics) that
+``obs`` renders; telemetry is off by default and costs nothing when off.
 ``verify`` integrity-checks a saved model directory against its
 manifest; ``tables`` drives the cached experiment harness (the same
-artifacts the benchmarks use).
+artifacts the benchmarks use); ``serve`` replays a dataset through the
+sharded multi-process :class:`~repro.serve.FleetService` (or, with
+``--soak``, runs the self-contained sharded-vs-serial convergence
+drill).
+
+Model/fleet/serve configuration flows through **one** loader
+(:func:`_load_config`): every subcommand accepts ``--config PATH``, a
+JSON file with optional ``"lead"`` / ``"fleet"`` / ``"serve"``
+sections, built via the uniform ``from_dict`` surface — unknown keys
+fail loudly — with explicit CLI flags layered on top.
 
 Typed failures (:mod:`repro.errors`) are rendered as one-line messages
 with exit code 2 instead of tracebacks; ``--traceback`` restores the
@@ -55,6 +66,31 @@ def _telemetry(args: argparse.Namespace):
               f"{len(ob.events)} events -> {path}")
 
 
+def _load_config(args: argparse.Namespace, section: str, cls,
+                 **overrides):
+    """Build a config object through the uniform ``from_dict`` loader.
+
+    Reads the optional ``--config`` JSON file, takes its ``section``
+    block (missing section = empty), layers the non-``None``
+    ``overrides`` from explicit CLI flags on top, and lets the config
+    class reject unknown keys.  Every subcommand builds every config
+    through this one path.
+    """
+    import json
+    data: dict = {}
+    path = getattr(args, "config", None)
+    if path is not None:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, dict):
+            raise ValueError(f"--config {path} must hold a JSON object")
+        data = dict(payload.get(section, {}))
+    for key, value in overrides.items():
+        if value is not None:
+            data[key] = value
+    return cls.from_dict(data)
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     from .data import DatasetConfig, SyntheticWorld, WorldConfig, \
         generate_dataset
@@ -80,7 +116,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
     dataset = HCTDataset.load(args.data)
     train, _, _ = dataset.split_by_truck((8, 1, 1), seed=args.seed)
     world = _world_for_seed(args.seed)
-    lead = LEAD(world.pois, LEADConfig(seed=args.seed))
+    lead = LEAD(world.pois,
+                _load_config(args, "lead", LEADConfig, seed=args.seed))
     checkpoint_dir = args.checkpoint_dir
     with _telemetry(args):
         report = lead.fit(train.samples, verbose=True,
@@ -114,7 +151,9 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     from .analysis import waybill_from_detection
     dataset = HCTDataset.load(args.data)
     world = _world_for_seed(args.seed)
-    lead = LEAD(world.pois, LEADConfig(seed=args.seed)).load(args.model)
+    lead = LEAD(world.pois,
+                _load_config(args, "lead", LEADConfig,
+                             seed=args.seed)).load(args.model)
     sample = dataset[args.index]
     with _telemetry(args):
         result = lead.detect(sample.trajectory)
@@ -139,7 +178,9 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     dataset = HCTDataset.load(args.data)
     _, val, test = dataset.split_by_truck((8, 1, 1), seed=args.seed)
     world = _world_for_seed(args.seed)
-    lead = LEAD(world.pois, LEADConfig(seed=args.seed)).load(args.model)
+    lead = LEAD(world.pois,
+                _load_config(args, "lead", LEADConfig,
+                             seed=args.seed)).load(args.model)
     test_set = prepare_test_set(list(val) + list(test), lead.processor)
     records = evaluate_detector(
         lambda p: lead.detect_processed(p).pair, test_set)
@@ -170,8 +211,11 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                          dataset_ping_stream, scramble_stream)
     dataset = HCTDataset.load(args.data)
     world = _world_for_seed(args.seed)
-    lead = LEAD(world.pois, LEADConfig(seed=args.seed)).load(args.model)
-    manager = FleetSessionManager(lead, FleetConfig(
+    lead = LEAD(world.pois,
+                _load_config(args, "lead", LEADConfig,
+                             seed=args.seed)).load(args.model)
+    manager = FleetSessionManager(lead, _load_config(
+        args, "fleet", FleetConfig,
         max_sessions=args.max_sessions,
         reorder_capacity=args.reorder_capacity,
         checkpoint_dir=args.checkpoint_dir))
@@ -193,7 +237,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 announced[key] = state
                 print(f"  {verdict.summary()}")
 
-    from .obs import render_table
+    from .obs import render_tables
     with _telemetry(args) as ob:
         next_tick = None
         for ping in pings:
@@ -206,10 +250,91 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                            day=ping.day)
         print("end of feed; finalizing every session:")
         _announce(manager.flush_all())
-        print(render_table(manager.stats(), title="fleet stats"), end="")
+        sections = [("fleet stats", manager.stats())]
         if ob is not None:
-            print(render_table(ob.registry.snapshot(),
-                               title="telemetry metrics"), end="")
+            sections.append(("telemetry metrics", ob.registry.snapshot()))
+        print(render_tables(sections), end="")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.soak:
+        from .serve import format_serve_soak, run_serve_soak
+        with _telemetry(args):
+            report = run_serve_soak(
+                seed=args.seed, num_trajectories=args.trajectories,
+                num_trucks=args.trucks, num_shards=args.shards or 4,
+                backend="inline" if args.inline else "process",
+                fit_detector=not args.no_detector,
+                kill_shard=args.kill_shard)
+        print(format_serve_soak(report))
+        return 0 if report["ok"] else 2
+    if args.data is None or args.model is None:
+        print("error: serve replay needs --data and --model "
+              "(or use --soak for the self-contained drill)",
+              file=sys.stderr)
+        return 2
+    from .data import HCTDataset
+    from .obs import render_tables
+    from .pipeline import LEAD, LEADConfig
+    from .serve import FleetService, ServeConfig
+    from .stream import dataset_ping_stream
+    dataset = HCTDataset.load(args.data)
+    world = _world_for_seed(args.seed)
+    lead = LEAD(world.pois,
+                _load_config(args, "lead", LEADConfig,
+                             seed=args.seed)).load(args.model)
+    config = _load_config(
+        args, "serve", ServeConfig,
+        num_shards=args.shards,
+        queue_high_water=args.queue_high_water,
+        checkpoint_dir=args.checkpoint_dir,
+        backend="inline" if args.inline else None)
+    samples = dataset.samples
+    if args.limit is not None:
+        samples = samples[:args.limit]
+    pings = dataset_ping_stream(samples)
+    batches = [pings[i:i + args.batch_pings]
+               for i in range(0, len(pings), args.batch_pings)]
+    midpoint = len(batches) // 2
+    print(f"serving {len(pings)} pings from {len(samples)} truck-days "
+          f"across {config.num_shards} shards ({config.backend}), "
+          f"{args.batch_pings} pings per submit")
+    rejected_total = 0
+    with _telemetry(args) as ob:
+        with FleetService(lead, config=config) as service:
+            next_tick = None
+            for index, batch in enumerate(batches):
+                if args.kill_shard is not None and index == midpoint:
+                    if service.kill_worker(shard=args.kill_shard):
+                        print(f"  killed shard {args.kill_shard} worker "
+                              f"at batch {index} (restarting from the "
+                              f"last barrier + journal replay)")
+                if next_tick is None:
+                    next_tick = batch[0].t + args.tick_s
+                result = service.submit(batch)
+                while result.rejected:
+                    # Backpressure: drain the overloaded shards, then
+                    # resubmit exactly the rejected pings (order within
+                    # a truck is preserved because rejection is
+                    # all-or-nothing per shard per batch).
+                    rejected_total += result.rejected
+                    service.wait()
+                    result = service.submit(result.rejected_pings)
+                while batch[-1].t >= next_tick:
+                    service.tick()
+                    next_tick += args.tick_s
+            print("end of feed; draining every shard:")
+            for verdict in service.drain():
+                print(f"  {verdict.summary()}")
+            stats = service.stats()
+        sections = [("serve stats", stats)]
+        if ob is not None:
+            sections.append(("telemetry metrics", ob.registry.snapshot()))
+        print(render_tables(sections), end="")
+    if rejected_total:
+        print(f"backpressure: {rejected_total} pings rejected and "
+              f"resubmitted")
     return 0
 
 
@@ -285,7 +410,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
-    from .obs import read_jsonl, render_span_tree, render_table
+    from .obs import read_jsonl, render_span_tree, render_tables
     records = read_jsonl(args.path)
     if not records:
         print(f"no telemetry records in {args.path}")
@@ -298,7 +423,10 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     if want in ("all", "metrics"):
         snaps = [r for r in records if r.get("kind") == "metrics"]
         if snaps:
-            print(render_table(snaps[-1]["metrics"], title="metrics"),
+            # One shared width across the counter/gauge/histogram
+            # sections, so multi-label rows (e.g. per-shard serve
+            # metrics) stay aligned with everything else.
+            print(render_tables([("metrics", snaps[-1]["metrics"])]),
                   end="")
     if want in ("all", "spans"):
         spans = [r for r in records if r.get("kind") == "span"]
@@ -345,6 +473,10 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry_help = ("write a JSONL telemetry trace (spans, structured "
                       "events, metrics snapshot) here; inspect it with "
                       "'repro obs <path>'")
+    config_help = ("JSON file with optional 'lead' / 'fleet' / 'serve' "
+                   "sections, loaded through the uniform from_dict "
+                   "surface (unknown keys fail loudly); explicit flags "
+                   "override it")
 
     p = sub.add_parser("generate", help="generate a synthetic dataset")
     p.add_argument("--out", required=True)
@@ -361,6 +493,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="checkpoint every epoch here; rerunning the same "
                         "command after a crash resumes training")
     p.add_argument("--workers", type=int, default=None, help=workers_help)
+    p.add_argument("--config", default=None, metavar="PATH",
+                   help=config_help)
     p.add_argument("--telemetry", default=None, metavar="PATH",
                    help=telemetry_help)
     p.set_defaults(func=_cmd_train)
@@ -375,6 +509,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", required=True)
     p.add_argument("--index", type=int, default=0)
     p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--config", default=None, metavar="PATH",
+                   help=config_help)
     p.add_argument("--telemetry", default=None, metavar="PATH",
                    help=telemetry_help)
     p.set_defaults(func=_cmd_detect)
@@ -383,6 +519,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--data", required=True)
     p.add_argument("--model", required=True)
     p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--config", default=None, metavar="PATH",
+                   help=config_help)
     p.set_defaults(func=_cmd_evaluate)
 
     p = sub.add_parser("tables", help="print the paper's tables")
@@ -401,10 +539,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--tick-s", type=float, default=1800.0,
                    help="simulated seconds between detection ticks")
-    p.add_argument("--max-sessions", type=int, default=1024,
-                   help="resident session bound (LRU beyond it)")
-    p.add_argument("--reorder-capacity", type=int, default=16,
-                   help="per-session out-of-order ping tolerance")
+    p.add_argument("--max-sessions", type=int, default=None,
+                   help="resident session bound (LRU beyond it; "
+                        "default 1024)")
+    p.add_argument("--reorder-capacity", type=int, default=None,
+                   help="per-session out-of-order ping tolerance "
+                        "(default 16)")
     p.add_argument("--checkpoint-dir", default=None,
                    help="spill evicted sessions here (exact restore); "
                         "omit to drop them")
@@ -413,9 +553,58 @@ def build_parser() -> argparse.ArgumentParser:
                         "simulate out-of-order arrival")
     p.add_argument("--limit", type=int, default=None,
                    help="replay only the first N truck-days")
+    p.add_argument("--config", default=None, metavar="PATH",
+                   help=config_help)
     p.add_argument("--telemetry", default=None, metavar="PATH",
                    help=telemetry_help)
     p.set_defaults(func=_cmd_stream)
+
+    p = sub.add_parser("serve",
+                       help="replay a dataset through the sharded "
+                            "multi-process fleet service (or --soak: "
+                            "the sharded-vs-serial convergence drill)")
+    p.add_argument("--data", default=None)
+    p.add_argument("--model", default=None)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--shards", type=int, default=None,
+                   help="worker shards; trucks route by a stable hash "
+                        "of the truck id (default 4)")
+    p.add_argument("--inline", action="store_true",
+                   help="run every shard in-process (no multiprocessing; "
+                        "debugging and constrained sandboxes)")
+    p.add_argument("--batch-pings", type=int, default=512,
+                   help="pings per submit() batch")
+    p.add_argument("--queue-high-water", type=int, default=None,
+                   help="per-shard inflight bound; submits beyond it "
+                        "are rejected with backpressure (default 64)")
+    p.add_argument("--checkpoint-dir", default=None,
+                   help="barrier snapshots, journals and eviction "
+                        "spills live here; enables restart from the "
+                        "last barrier")
+    p.add_argument("--tick-s", type=float, default=1800.0,
+                   help="simulated seconds between detection ticks")
+    p.add_argument("--limit", type=int, default=None,
+                   help="replay only the first N truck-days")
+    p.add_argument("--kill-shard", type=int, default=None,
+                   help="SIGKILL this shard's worker at the replay "
+                        "midpoint (ops drill; verdicts must still "
+                        "converge)")
+    p.add_argument("--soak", action="store_true",
+                   help="run the self-contained sharded-vs-serial "
+                        "convergence soak on synthetic data instead of "
+                        "replaying --data")
+    p.add_argument("--trajectories", type=int, default=50,
+                   help="(--soak) synthetic truck-days")
+    p.add_argument("--trucks", type=int, default=20,
+                   help="(--soak) distinct trucks")
+    p.add_argument("--no-detector", action="store_true",
+                   help="(--soak) skip fitting the tiny detector "
+                        "(ingest-only; much faster)")
+    p.add_argument("--config", default=None, metavar="PATH",
+                   help=config_help)
+    p.add_argument("--telemetry", default=None, metavar="PATH",
+                   help=telemetry_help)
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("chaos",
                        help="seeded fault-injection soak: corrupted "

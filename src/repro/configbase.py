@@ -1,0 +1,131 @@
+"""Uniform config (de)serialization shared by every dataclass config.
+
+Every public config object — :class:`~repro.pipeline.LEADConfig` and its
+nested feature/encoder/trainer configs, the streaming
+:class:`~repro.stream.FleetConfig` and the serving
+:class:`~repro.serve.ServeConfig` — round-trips through the same two
+functions so CLI subcommands, checkpoint manifests and tests all speak
+one dialect:
+
+* :func:`config_to_dict` renders a config as a JSON-safe nested dict
+  (``Path`` becomes ``str``, tuples become lists, nested dataclasses
+  recurse).
+* :func:`config_from_dict` rebuilds a config from such a dict and
+  **rejects unknown keys** with an error that names both the offending
+  keys and the valid ones — a typo in a ``--config`` JSON file fails
+  loudly instead of silently keeping a default.
+
+Mix :class:`ConfigMixin` into a dataclass to expose both as
+``to_dict()`` / ``from_dict()`` methods.
+
+Fields can opt out of serialization (mutable run-state such as
+``RetryPolicy.counters``, or values with no JSON form) by declaring
+``field(..., metadata={"config_exclude": True})``; such fields are
+skipped on the way out and rejected as unknown on the way in, so the
+dict surface only ever contains round-trippable knobs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+from pathlib import Path
+from types import UnionType
+
+__all__ = ["ConfigMixin", "config_to_dict", "config_from_dict"]
+
+#: Field metadata key that removes a field from the dict surface.
+EXCLUDE_KEY = "config_exclude"
+
+
+def _config_fields(cls) -> list[dataclasses.Field]:
+    """The fields of ``cls`` that participate in dict round-trips."""
+    return [f for f in dataclasses.fields(cls)
+            if f.init and not f.metadata.get(EXCLUDE_KEY)]
+
+
+def _value_to_jsonable(value):
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return config_to_dict(value)
+    if isinstance(value, Path):
+        return str(value)
+    if isinstance(value, (tuple, list)):
+        return [_value_to_jsonable(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(
+        f"config field value {value!r} of type {type(value).__name__} "
+        "has no JSON form; mark the field config_exclude or add a case")
+
+
+def config_to_dict(config) -> dict:
+    """Render a dataclass config as a JSON-safe nested dict."""
+    if not dataclasses.is_dataclass(config) or isinstance(config, type):
+        raise TypeError(f"expected a dataclass instance, got {config!r}")
+    return {f.name: _value_to_jsonable(getattr(config, f.name))
+            for f in _config_fields(type(config))}
+
+
+def _unwrap_optional(hint):
+    """Strip ``X | None`` down to its non-None members (or the hint)."""
+    origin = typing.get_origin(hint)
+    if origin is typing.Union or origin is UnionType:
+        args = [a for a in typing.get_args(hint) if a is not type(None)]
+        return args
+    return [hint]
+
+
+def _coerce(hint, value, *, field_name: str, cls_name: str):
+    """Coerce a JSON value toward the annotated field type."""
+    if value is None:
+        return None
+    for candidate in _unwrap_optional(hint):
+        if dataclasses.is_dataclass(candidate) and isinstance(candidate, type):
+            if dataclasses.is_dataclass(value):
+                return value
+            if isinstance(value, dict):
+                return config_from_dict(candidate, value)
+            raise TypeError(
+                f"{cls_name}.{field_name} expects a mapping for "
+                f"{candidate.__name__}, got {type(value).__name__}")
+        if candidate is Path and isinstance(value, str):
+            return Path(value)
+        if typing.get_origin(candidate) is tuple and \
+                isinstance(value, (list, tuple)):
+            return tuple(value)
+    return value
+
+
+def config_from_dict(cls, data) -> object:
+    """Build ``cls`` from a dict, rejecting keys it does not declare."""
+    if dataclasses.is_dataclass(data) and isinstance(data, cls):
+        return data
+    if not isinstance(data, dict):
+        raise TypeError(
+            f"{cls.__name__}.from_dict expects a mapping, "
+            f"got {type(data).__name__}")
+    declared = _config_fields(cls)
+    allowed = {f.name for f in declared}
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise ValueError(
+            f"unknown {cls.__name__} key(s) {unknown}; "
+            f"valid keys: {sorted(allowed)}")
+    hints = typing.get_type_hints(cls)
+    kwargs = {name: _coerce(hints.get(name), data[name],
+                            field_name=name, cls_name=cls.__name__)
+              for name in data}
+    return cls(**kwargs)
+
+
+class ConfigMixin:
+    """Adds uniform ``to_dict`` / ``from_dict`` to a dataclass config."""
+
+    def to_dict(self) -> dict:
+        """This config as a JSON-safe nested dict."""
+        return config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict):
+        """Rebuild from :meth:`to_dict` output; unknown keys raise."""
+        return config_from_dict(cls, data)

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..configbase import ConfigMixin
 from ..nn import (Adam, EarlyStopping, Tensor, TrainingHistory, bce_loss,
                   clip_grad_norm, kld_loss, use_fused)
 from .detectors import GroupDetector, IndependentDetector
@@ -41,7 +42,7 @@ class DetectorSample:
 
 
 @dataclass
-class DetectorTrainingConfig:
+class DetectorTrainingConfig(ConfigMixin):
     """Training-loop knobs.
 
     The paper trains with batch size 1 and averages gradients over B = 64

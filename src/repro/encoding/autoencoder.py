@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..configbase import ConfigMixin
 from ..features import CandidateFeatures
 from ..nn import Module, Tensor, concat, mse_loss, no_grad
 from ..nn.padding import pad_sequences
@@ -79,7 +80,7 @@ def _shape_buckets(lengths: np.ndarray, bucket: bool) -> list[np.ndarray]:
 
 
 @dataclass(frozen=True)
-class EncoderConfig:
+class EncoderConfig(ConfigMixin):
     """Architecture knobs (paper defaults: 32 hidden units, c-vec dim 64)."""
 
     feature_dim: int = 32

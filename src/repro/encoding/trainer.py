@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..configbase import ConfigMixin
 from ..features import CandidateFeatures
 from ..nn import (Adam, CheckpointManager, EarlyStopping, TrainingHistory,
                   clip_grad_norm, use_fused)
@@ -25,7 +26,7 @@ __all__ = ["AutoencoderTrainer", "AutoencoderTrainingConfig"]
 
 
 @dataclass
-class AutoencoderTrainingConfig:
+class AutoencoderTrainingConfig(ConfigMixin):
     """Training-loop knobs."""
 
     epochs: int = 12

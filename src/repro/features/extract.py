@@ -7,6 +7,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..configbase import ConfigMixin
 from ..data.poi import POI_CATEGORIES, POIDatabase
 from ..model import Trajectory
 from ..perf.cache import CacheStats
@@ -19,7 +20,7 @@ FEATURE_DIM = 3 + len(POI_CATEGORIES)
 
 
 @dataclass(frozen=True)
-class FeatureConfig:
+class FeatureConfig(ConfigMixin):
     """Feature extraction knobs.
 
     ``max_segment_len`` caps the number of GPS points per stay/move

@@ -21,7 +21,7 @@ from .core import (Observability, active_obs, obs_event, obs_span,
                    observe)
 from .events import EventLog, read_jsonl
 from .export import (flatten, render_prometheus, render_span_tree,
-                     render_table)
+                     render_table, render_tables)
 from .metrics import (DEFAULT_LATENCY_BUCKETS_S, Counter, Gauge,
                       Histogram, MetricsRegistry, default_registry)
 from .trace import Span, SpanContext, Tracer
@@ -32,5 +32,6 @@ __all__ = [
     "default_registry", "DEFAULT_LATENCY_BUCKETS_S",
     "Tracer", "Span", "SpanContext",
     "EventLog", "read_jsonl",
-    "render_prometheus", "render_table", "render_span_tree", "flatten",
+    "render_prometheus", "render_table", "render_tables",
+    "render_span_tree", "flatten",
 ]

@@ -8,8 +8,8 @@ from __future__ import annotations
 
 from .metrics import MetricsRegistry
 
-__all__ = ["render_prometheus", "render_table", "render_span_tree",
-           "flatten"]
+__all__ = ["render_prometheus", "render_table", "render_tables",
+           "render_span_tree", "flatten"]
 
 
 def render_prometheus(registry: MetricsRegistry) -> str:
@@ -80,12 +80,19 @@ def flatten(payload, prefix: str = "") -> dict[str, object]:
     return flat
 
 
-def render_table(payload: dict, title: str | None = None) -> str:
-    """An aligned two-column ``key  value`` table from a nested dict."""
+def render_table(payload: dict, title: str | None = None, *,
+                 width: int | None = None) -> str:
+    """An aligned two-column ``key  value`` table from a nested dict.
+
+    ``width`` overrides the key-column width; pass one shared value
+    when printing several tables together (see :func:`render_tables`)
+    so multi-label metric rows stay aligned across sections.
+    """
     flat = flatten(payload)
     if not flat:
         return (title + "\n") if title else ""
-    width = max(len(key) for key in flat)
+    if width is None:
+        width = max(len(key) for key in flat)
     lines = []
     if title:
         lines.append(title)
@@ -95,6 +102,22 @@ def render_table(payload: dict, title: str | None = None) -> str:
             else str(value)
         lines.append(f"{key.ljust(width)}  {rendered}")
     return "\n".join(lines) + "\n"
+
+
+def render_tables(sections: list[tuple[str | None, dict]]) -> str:
+    """Several titled tables sharing **one** key-column width.
+
+    Every renderer that prints more than one stats table goes through
+    here: the width is computed over the union of all sections' keys,
+    so rows with differing label sets (e.g. per-shard metrics next to
+    fleet counters) line up instead of each table picking its own
+    width.
+    """
+    flats = [flatten(payload) for _title, payload in sections]
+    keys = [key for flat in flats for key in flat]
+    width = max((len(key) for key in keys), default=0)
+    return "\n".join(render_table(payload, title, width=width)
+                     for (title, payload) in sections)
 
 
 def render_span_tree(spans: list[dict]) -> str:

@@ -32,6 +32,7 @@ are not).
 
 from __future__ import annotations
 
+import gc
 import os
 import platform
 import time
@@ -63,7 +64,8 @@ TELEMETRY_OVERHEAD_BUDGET_PCT = 5.0
 #: Streaming throughput metrics (higher is better) gated by
 #: ``benchmarks/bench_stream.py`` against its committed baseline.
 STREAM_GATED_METRICS = ("stream_ingest_pps", "stream_ingest_batch_pps",
-                        "stream_tick_sps", "stream_flush_sps")
+                        "stream_tick_sps", "stream_flush_sps",
+                        "serve_ingest_pps")
 
 #: Candidates used for the training throughput measurement (keeps the
 #: default-scale bench to a few seconds; tiny scales have fewer anyway).
@@ -103,12 +105,19 @@ def _environment() -> dict:
 
 def _best_time(fn: Callable[[], object], repeats: int) -> float:
     """Best-of-``repeats`` wall-clock seconds of ``fn()`` (min, the
-    standard noise-robust estimator for CPU microbenchmarks)."""
+    standard noise-robust estimator for CPU microbenchmarks).  Garbage
+    collection is paused around each timed run so collection pauses
+    triggered by *earlier* bench sections can't leak into this one."""
     best = float("inf")
     for _ in range(max(1, repeats)):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        finally:
+            gc.enable()
     return best
 
 
@@ -561,7 +570,8 @@ def compare_to_baseline(current: dict, baseline: dict,
 
 
 def run_stream_bench(scale: str | None = None, repeats: int = 3,
-                     num_ticks: int = 8, verbose: bool = False) -> dict:
+                     num_ticks: int = 8, serve_shards: int = 4,
+                     verbose: bool = False) -> dict:
     """Benchmark the online detection layer at one experiment scale.
 
     Reuses the cached offline artifacts, replays the scale's test set as
@@ -569,6 +579,10 @@ def run_stream_bench(scale: str | None = None, repeats: int = 3,
 
     * raw ingest throughput (pings/sec through sanitize → reorder →
       noise filter → stay-point scanner, no detector attached);
+    * sharded serve ingest throughput: the same feed submitted through a
+      ``serve_shards``-worker :class:`~repro.serve.FleetService`
+      (``serve_ingest_pps``; the CI gate expects >= 2x the
+      single-process number at 4 shards);
     * per-tick detection latency (mean and p95 over ``num_ticks`` ticks
       spread across the feed) and tick throughput in sessions/sec;
     * flush throughput (final verdicts/sec over the whole fleet);
@@ -615,6 +629,38 @@ def run_stream_bench(scale: str | None = None, repeats: int = 3,
             session.finalize()
     metrics["stream_ingest_batch_pps"] = (
         len(pings) / _best_time(replay_ingest_batch, repeats))
+
+    # -- sharded serve ingest throughput (no detector) ----------------------
+    # Same ingest work as replay_ingest, spread over ``serve_shards``
+    # worker processes by repro.serve.  A huge high-water mark keeps
+    # admission control out of the timing and the clock covers only
+    # submit -> wait() on an already-started fleet (steady-state
+    # capacity; worker fork/teardown is cold-start, not throughput —
+    # each repeat still gets a fresh service so sessions never carry
+    # over).  The gate: at 4 shards this must stay >= 2x the
+    # single-process stream_ingest_pps number.
+    def replay_serve() -> float:
+        from ..serve import FleetService, ServeConfig
+        serve_config = ServeConfig(
+            num_shards=serve_shards, queue_high_water=1 << 20,
+            fleet=FleetConfig(max_sessions=n_sessions + 1))
+        # One submit per replay, mirroring replay_ingest_batch's full
+        # day per session: both batch lanes see the same chunk sizes.
+        with FleetService(None, config=serve_config) as service:
+            gc.collect()
+            gc.disable()
+            try:
+                t0 = time.perf_counter()
+                service.submit(pings)
+                service.wait()
+                return time.perf_counter() - t0
+            finally:
+                gc.enable()
+    metrics["serve_ingest_pps"] = (
+        len(pings) / min(replay_serve() for _ in range(max(1, repeats))))
+    metrics["serve_shards"] = float(serve_shards)
+    metrics["serve_scaling"] = (
+        metrics["serve_ingest_pps"] / metrics["stream_ingest_pps"])
 
     # -- tick latency / throughput -----------------------------------------
     _clear_feature_caches(lead)
@@ -718,6 +764,10 @@ def format_stream_bench_table(payload: dict) -> str:
         f"  ingest            {metrics['stream_ingest_pps']:10.0f} pings/s",
         f"  ingest (bulk)     "
         f"{metrics.get('stream_ingest_batch_pps', 0.0):10.0f} pings/s",
+        f"  ingest (served)   "
+        f"{metrics.get('serve_ingest_pps', 0.0):10.0f} pings/s"
+        f"  ({metrics.get('serve_shards', 0.0):.0f} shards, "
+        f"{metrics.get('serve_scaling', 0.0):.1f}x)",
         f"  tick (mean)       {metrics['stream_tick_mean_s'] * 1e3:10.2f} ms",
         f"  tick (p95)        {metrics['stream_tick_p95_s'] * 1e3:10.2f} ms",
         f"  tick throughput   {metrics['stream_tick_sps']:10.1f} sessions/s",

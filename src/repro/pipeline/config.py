@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from ..configbase import ConfigMixin
 from ..detection import DetectorTrainingConfig
 from ..encoding import AutoencoderTrainingConfig, EncoderConfig
 from ..features import FeatureConfig
@@ -20,7 +21,7 @@ VARIANT_NAMES: tuple[str, ...] = (
 
 
 @dataclass
-class LEADConfig:
+class LEADConfig(ConfigMixin):
     """All knobs of the LEAD framework (paper §VI-A defaults).
 
     Ablation switches:

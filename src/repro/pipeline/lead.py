@@ -29,6 +29,7 @@ per model directory), and ``fit`` checkpoints every epoch when given a
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from functools import partial
 from pathlib import Path
@@ -639,29 +640,52 @@ class LEAD:
                     out.append(merge_distributions(fwd, bwd))
         return out
 
+    @staticmethod
+    def _direction_shim(method: str, args: tuple, direction: str) -> str:
+        """Absorb the legacy positional ``direction`` argument."""
+        if not args:
+            return direction
+        if len(args) > 1:
+            raise TypeError(
+                f"{method}() takes the processed list plus the keyword "
+                "direction only")
+        warnings.warn(
+            f"passing direction positionally to LEAD.{method} is "
+            f"deprecated; use {method}(batch, direction=...)",
+            DeprecationWarning, stacklevel=3)
+        return args[0]
+
     def predict_distribution_batch(self,
                                    processed_list:
                                    list[ProcessedTrajectory],
+                                   *args,
                                    direction: str = "both"
                                    ) -> list[np.ndarray]:
         """Batched :meth:`predict_distribution` over many trajectories.
 
         Same strict semantics (raises on unavailable detectors or any
         non-finite distribution); results line up with the input order
-        and are ``allclose`` to per-trajectory calls.
+        and are ``allclose`` to per-trajectory calls.  ``direction`` is
+        keyword-only; the positional form is deprecated.
         """
+        direction = self._direction_shim("predict_distribution_batch",
+                                         args, direction)
         self._require_fitted()
         return [self._checked(d)
                 for d in self._predict_many(processed_list, direction)]
 
     def detect_processed_batch(self,
                                processed_list: list[ProcessedTrajectory],
+                               *args,
                                direction: str = "both"
                                ) -> list[DetectionResult]:
         """Strict batched detection (the batch analogue of
-        :meth:`detect_processed`; raises on failure)."""
-        distributions = self.predict_distribution_batch(processed_list,
-                                                        direction)
+        :meth:`detect_processed`; raises on failure).  ``direction`` is
+        keyword-only; the positional form is deprecated."""
+        direction = self._direction_shim("detect_processed_batch",
+                                         args, direction)
+        distributions = self.predict_distribution_batch(
+            processed_list, direction=direction)
         tier = {"both": "both", "forward": "forward-only",
                 "backward": "backward-only"}.get(direction, direction)
         if self.independent_detector is not None:
@@ -1014,10 +1038,12 @@ class LEAD:
             modules["independent"] = self.independent_detector
         return modules
 
-    def load(self, directory: str | Path, strict: bool = True,
+    def load(self, directory: str | Path, *args, strict: bool = True,
              calibration: Sequence[ProcessedTrajectory] | None = None,
              ) -> "LEAD":
         """Load weights saved by :meth:`save` (config must match).
+
+        ``strict`` is keyword-only; the positional form is deprecated.
 
         ``strict=True`` (default) verifies the manifest and raises
         :class:`ArtifactCorruptedError` / ``FileNotFoundError`` on any
@@ -1034,6 +1060,15 @@ class LEAD:
         policy is not ``"float64"``, the float32/float64 parity gate
         runs here instead of lazily at the first detect call.
         """
+        if args:
+            if len(args) > 1:
+                raise TypeError(
+                    "load() takes the directory plus keyword arguments only")
+            warnings.warn(
+                "passing strict positionally to LEAD.load is deprecated; "
+                "use load(directory, strict=...)",
+                DeprecationWarning, stacklevel=2)
+            strict = args[0]
         directory = Path(directory)
         notes: list[str] = []
         manifest = None

@@ -1,0 +1,20 @@
+"""Sharded multi-process fleet serving (the repo's ingest frontier).
+
+``FleetService`` shards trucks across N worker processes — each owning
+a :class:`~repro.stream.FleetSessionManager` and a detector replica —
+behind one keyword-only frontend: ``submit`` / ``flush`` / ``drain`` /
+``stats``.  Routing is a pure function of the truck id, so per-truck
+ordering and bit-exact convergence with a serial replay are preserved;
+dead or hung workers restart from barrier snapshots and a journal
+replay.  See DESIGN.md §15.
+"""
+
+from .config import ServeConfig
+from .routing import shard_for
+from .service import (FleetService, ServeCounters, ServeError,
+                      SubmitResult)
+from .soak import format_serve_soak, run_serve_soak
+
+__all__ = ["FleetService", "ServeConfig", "ServeCounters", "ServeError",
+           "SubmitResult", "format_serve_soak", "run_serve_soak",
+           "shard_for"]

@@ -1,0 +1,676 @@
+"""The sharded fleet service frontend.
+
+``FleetService`` places every truck on one of N shards with
+:func:`~repro.serve.routing.shard_for` and drives each shard — a
+:class:`~repro.stream.FleetSessionManager` plus a detector replica —
+through the tiny command protocol of :mod:`repro.serve.worker`.  The
+``process`` backend forks one worker per shard and moves commands over
+bounded ``multiprocessing`` queues; the ``inline`` backend applies the
+same commands in-process (deterministic tests, and the degraded mode a
+shard falls into when its restart breaker opens).
+
+**Convergence contract.**  A truck's final verdict is a pure function
+of its ordered ping sequence: routing pins each truck to one shard, the
+shard's FIFO queue and single-threaded worker preserve submission
+order, and ``flush`` recomputes from the session's final state — so an
+N-shard drain equals a serial ``FleetSessionManager`` replay
+verdict-for-verdict (same pair, same provenance tier, probabilities
+allclose), shard count and interleaving notwithstanding.
+
+**Restart protocol (journal + barrier).**  The frontend journals every
+mutating command (``ingest``/``flush``/``drain``) per shard.  With a
+``checkpoint_dir``, every ``checkpoint_every`` mutations it asks the
+worker for a *barrier*: ``checkpoint_all`` snapshots every known
+session into a fresh ``shard-<i>/barrier-<seq>`` directory (resident
+sessions written from live state, evicted sessions' spill files copied
+verbatim — exact, since evicted sessions receive no pings).  When the
+barrier acks, the journal is truncated to entries after it.  A dead or
+hung worker is then recovered by wiping the shard's live sessions
+directory, copying the barrier in, starting a fresh manager
+(``adopt_spills`` re-registers never-re-touched trucks) and replaying
+the journal suffix — every command applied exactly once against
+barrier state, so recovery converges bit-for-bit with an undisturbed
+run.  Each restart is a failure on the shard's
+:class:`~repro.supervise.CircuitBreaker` (logical restart-attempt
+clock); an open breaker degrades the shard to the inline backend until
+the cooldown passes.
+
+**Admission control.**  A shard with ``queue_high_water`` un-acked
+commands rejects new pings — they come back in the
+:class:`SubmitResult` with a backpressure reason instead of queueing
+without bound.
+
+Chaos site ``serve.worker`` (keyed by shard index) injects ``kill``
+(the frontend SIGKILLs the worker), ``crash`` (the worker hard-exits
+before applying the batch) and ``hang`` (the worker stalls past the
+response timeout); all three funnel into the same restart path.
+
+All public methods take keyword-only options — the serve surface is
+keyword-only from day one.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import shutil
+import time
+import warnings
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+import numpy as np
+
+from ..chaos.core import chaos_point
+from ..obs.core import active_obs, obs_event, obs_span
+from ..stream.fleet import FleetSessionManager
+from ..stream.verdict import ProvisionalVerdict
+from ..supervise import CircuitBreaker
+from .config import ServeConfig
+from .routing import shard_for
+from .worker import apply_command, worker_main
+
+__all__ = ["FleetService", "ServeCounters", "ServeError", "SubmitResult"]
+
+#: Command kinds the frontend journals (and therefore replays).
+_JOURNALED = frozenset({"ingest", "flush", "drain"})
+
+
+class ServeError(RuntimeError):
+    """A shard reported a command failure, or the service is closed."""
+
+
+@dataclass(frozen=True)
+class SubmitResult:
+    """What one ``submit`` call did with its pings."""
+
+    accepted: int
+    rejected: int
+    #: The rejected pings in normalized ``(truck_id, day, lat, lng, t)``
+    #: tuple form, in input order — feed them straight back to
+    #: ``submit()`` once the overloaded shards drain.
+    rejected_pings: tuple = ()
+    #: One backpressure reason per rejecting shard.
+    reasons: tuple[str, ...] = ()
+
+
+@dataclass
+class ServeCounters:
+    """Frontend-level counters (per-shard stats live in the workers)."""
+
+    submitted_pings: int = 0
+    accepted_pings: int = 0
+    rejected_pings: int = 0
+    restarts: int = 0
+    degraded_shards: int = 0
+    barriers: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+class _Shard:
+    """Frontend-side state of one shard (worker or inline manager)."""
+
+    def __init__(self, index: int, fleet_config) -> None:
+        self.index = index
+        self.fleet_config = fleet_config
+        self.mode: str = "unstarted"        # "process" | "inline"
+        self.process = None
+        self.requests = None
+        self.responses = None
+        self.manager: FleetSessionManager | None = None
+        self.seq = 0                        # next command seq
+        self.inflight = 0                   # sent, not yet acked
+        self.interest: set[int] = set()     # seqs someone will await
+        self.results: dict[int, tuple] = {}
+        self.journal: list[tuple[int, tuple]] = []
+        self.mutations = 0                  # since the last barrier
+        self.barrier_seq = -1
+        self.barrier_dir: Path | None = None
+        self.pending_barrier: tuple[int, Path] | None = None
+        self.breaker: CircuitBreaker | None = None
+
+    def next_seq(self) -> int:
+        seq = self.seq
+        self.seq += 1
+        return seq
+
+
+class FleetService:
+    """N-shard fleet frontend: ``submit`` / ``flush`` / ``drain`` / ``stats``."""
+
+    def __init__(self, detector=None, *,
+                 config: ServeConfig | None = None) -> None:
+        self.detector = detector
+        self.config = config or ServeConfig()
+        self.counters = ServeCounters()
+        self._ctx = mp.get_context("fork")
+        self._clock = 0   # logical restart-attempt clock for breakers
+        self._closed = False
+        # Routing memo: shard_for() is a pure function of the truck id,
+        # so one blake2b per *truck* (not per ping) is enough.
+        self._routes: dict[str, int] = {}
+        root = self.config.checkpoint_dir
+        self._root = Path(root) if root is not None else None
+        self._shards = [self._build_shard(i)
+                        for i in range(self.config.num_shards)]
+        for shard in self._shards:
+            self._start_shard(shard)
+
+    # ------------------------------------------------------------------
+    # Shard lifecycle
+    # ------------------------------------------------------------------
+    def _sessions_dir(self, index: int) -> Path | None:
+        if self._root is None:
+            return None
+        return self._root / f"shard-{index}" / "sessions"
+
+    def _build_shard(self, index: int) -> _Shard:
+        fleet = self.config.fleet
+        sessions = self._sessions_dir(index)
+        if sessions is not None:
+            fleet = replace(fleet, checkpoint_dir=str(sessions))
+        shard = _Shard(index, fleet)
+        shard.breaker = CircuitBreaker(
+            f"serve-shard-{index}",
+            self.config.shard_breaker_failures,
+            self.config.shard_breaker_cooldown,
+            clock=lambda: float(self._clock))
+        return shard
+
+    def _start_shard(self, shard: _Shard) -> None:
+        """(Re)start one shard's backend; chooses process vs inline."""
+        use_process = (self.config.backend == "process"
+                       and shard.breaker.allow())
+        if use_process:
+            maxsize = 2 * self.config.queue_high_water + 16
+            shard.requests = self._ctx.Queue(maxsize=maxsize)
+            shard.responses = self._ctx.Queue()
+            shard.process = self._ctx.Process(
+                target=worker_main,
+                args=(shard.index, self.detector, shard.fleet_config,
+                      shard.requests, shard.responses),
+                daemon=True)
+            shard.process.start()
+            shard.manager = None
+            shard.mode = "process"
+        else:
+            if self.config.backend == "process" \
+                    and shard.mode != "inline":
+                self.counters.degraded_shards += 1
+                obs_event("serve.shard_degraded", shard=shard.index,
+                          reason="restart breaker open; running inline")
+            shard.process = None
+            shard.requests = None
+            shard.responses = None
+            shard.manager = FleetSessionManager(self.detector,
+                                                shard.fleet_config)
+            shard.manager.adopt_spills()
+            shard.mode = "inline"
+        shard.inflight = 0
+
+    def _restart_shard(self, shard: _Shard, reason: str) -> None:
+        """Recover a dead/hung/chaos-killed shard: rebuild and replay."""
+        with obs_span("serve.restart", shard=shard.index, reason=reason):
+            while True:
+                self.counters.restarts += 1
+                self._clock += 1
+                shard.breaker.record_failure()
+                obs_event("serve.shard_restart", shard=shard.index,
+                          reason=reason, journal=len(shard.journal),
+                          barrier_seq=shard.barrier_seq)
+                self._teardown(shard)
+                self._rebuild_dirs(shard)
+                self._start_shard(shard)
+                if self._replay(shard):
+                    return
+                reason = "worker died during journal replay"
+
+    def _teardown(self, shard: _Shard) -> None:
+        if shard.process is not None:
+            if shard.process.is_alive():
+                shard.process.kill()
+            shard.process.join(timeout=5.0)
+            shard.process = None
+        shard.manager = None
+        if shard.pending_barrier is not None:
+            shutil.rmtree(shard.pending_barrier[1], ignore_errors=True)
+            shard.pending_barrier = None
+
+    def _rebuild_dirs(self, shard: _Shard) -> None:
+        """Reset the live sessions dir to the last barrier snapshot."""
+        sessions = self._sessions_dir(shard.index)
+        if sessions is None:
+            return
+        shutil.rmtree(sessions, ignore_errors=True)
+        sessions.mkdir(parents=True, exist_ok=True)
+        if shard.barrier_dir is not None and shard.barrier_dir.exists():
+            for spill in sorted(shard.barrier_dir.glob("*.json")):
+                shutil.copy(spill, sessions / spill.name)
+
+    def _replay(self, shard: _Shard) -> bool:
+        """Re-apply the journal suffix to a freshly started shard."""
+        if shard.mode == "inline":
+            for _seq, command in shard.journal:
+                self._apply_inline(shard, command)
+            return True
+        for _seq, command in shard.journal:
+            while True:
+                if not shard.process.is_alive():
+                    return False
+                try:
+                    shard.requests.put(command, timeout=0.05)
+                    break
+                except queue_mod.Full:
+                    self._pump(shard)
+            shard.inflight += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Command plumbing
+    # ------------------------------------------------------------------
+    def _apply_inline(self, shard: _Shard, command: tuple) -> None:
+        try:
+            payload = apply_command(shard.manager, command)
+        except Exception as exc:   # noqa: BLE001 - mirror worker loop
+            result = ("error", f"{type(exc).__name__}: {exc}")
+        else:
+            result = ("ok", payload)
+        seq = command[1]
+        if shard.pending_barrier is not None \
+                and seq == shard.pending_barrier[0]:
+            self._finish_barrier(shard, result[0] == "ok")
+        if seq in shard.interest:
+            shard.results[seq] = result
+
+    def _handle_response(self, shard: _Shard, item: tuple) -> None:
+        seq, status, payload = item
+        shard.inflight = max(0, shard.inflight - 1)
+        if shard.pending_barrier is not None \
+                and seq == shard.pending_barrier[0]:
+            self._finish_barrier(shard, status == "ok")
+            return
+        if seq in shard.interest:
+            shard.results[seq] = (status, payload)
+
+    def _pump(self, shard: _Shard) -> None:
+        """Drain ready responses without blocking."""
+        if shard.mode != "process":
+            return
+        while True:
+            try:
+                item = shard.responses.get_nowait()
+            except queue_mod.Empty:
+                return
+            self._handle_response(shard, item)
+
+    def _finish_barrier(self, shard: _Shard, ok: bool) -> None:
+        seq, directory = shard.pending_barrier
+        shard.pending_barrier = None
+        if not ok:
+            shutil.rmtree(directory, ignore_errors=True)
+            warnings.warn(
+                f"serve shard {shard.index} barrier {seq} failed; "
+                "keeping the previous snapshot", RuntimeWarning,
+                stacklevel=4)
+            return
+        previous = shard.barrier_dir
+        shard.barrier_seq = seq
+        shard.barrier_dir = directory
+        shard.journal = [(s, c) for s, c in shard.journal if s > seq]
+        self.counters.barriers += 1
+        if previous is not None:
+            shutil.rmtree(previous, ignore_errors=True)
+
+    def _maybe_barrier(self, shard: _Shard) -> None:
+        if (self._root is None or shard.pending_barrier is not None
+                or shard.mutations < self.config.checkpoint_every):
+            return
+        shard.mutations = 0
+        seq = shard.next_seq()
+        directory = self._root / f"shard-{shard.index}" / f"barrier-{seq}"
+        command = ("barrier", seq, str(directory))
+        shard.pending_barrier = (seq, directory)
+        if shard.mode == "inline":
+            self._apply_inline(shard, command)
+        else:
+            self._put(shard, command)
+            shard.inflight += 1
+
+    def _put(self, shard: _Shard, message: tuple) -> None:
+        while True:
+            if not shard.process.is_alive():
+                self._restart_shard(shard, "worker died before send")
+                if shard.mode == "inline":
+                    self._apply_inline(shard, message)
+                    return
+                continue
+            try:
+                shard.requests.put(message, timeout=0.05)
+                return
+            except queue_mod.Full:
+                self._pump(shard)
+
+    def _send(self, shard: _Shard, command: tuple, *, fault=None,
+              interest: bool = False) -> None:
+        """Dispatch one command (journaling and chaos already decided)."""
+        if interest:
+            shard.interest.add(command[1])
+        if command[0] in _JOURNALED:
+            shard.journal.append((command[1], command))
+            shard.mutations += 1
+        if shard.mode == "inline":
+            if fault is not None:
+                # The worker would have died before applying the batch;
+                # the journaled command lands during replay instead.
+                self._restart_shard(shard, f"chaos:{fault.kind}")
+            else:
+                self._apply_inline(shard, command)
+        elif fault is not None and fault.kind == "kill":
+            self._put(shard, command)
+            shard.inflight += 1
+            if shard.process.is_alive():
+                shard.process.kill()
+            self._restart_shard(shard, "chaos:kill")
+        else:
+            message = command
+            if fault is not None and command[0] == "ingest":
+                message = (command[0], command[1], command[2], fault)
+            self._put(shard, message)
+            if shard.mode == "process":   # _put may have degraded us
+                shard.inflight += 1
+        self._maybe_barrier(shard)
+
+    def _await(self, shard: _Shard, command: tuple):
+        """Block until ``command``'s response arrives; recover en route."""
+        seq = command[1]
+        deadline = time.monotonic() + self.config.response_timeout_s
+        while True:
+            self._pump(shard)
+            if seq in shard.results:
+                shard.interest.discard(seq)
+                status, payload = shard.results.pop(seq)
+                if status == "error":
+                    raise ServeError(
+                        f"shard {shard.index} failed "
+                        f"{command[0]!r}: {payload}")
+                if shard.mode == "process":
+                    shard.breaker.record_success()
+                return payload
+            if shard.mode != "process":
+                raise ServeError(
+                    f"shard {shard.index}: no inline response for "
+                    f"{command[0]!r} seq {seq}")
+            restart = None
+            if not shard.process.is_alive():
+                restart = "worker died"
+            else:
+                try:
+                    item = shard.responses.get(timeout=0.05)
+                except queue_mod.Empty:
+                    if time.monotonic() > deadline:
+                        restart = "worker hung (response timeout)"
+                else:
+                    self._handle_response(shard, item)
+                    continue
+            if restart is not None:
+                self._restart_shard(shard, restart)
+                if command[0] not in _JOURNALED \
+                        and shard.mode == "process":
+                    self._put(shard, command)
+                    shard.inflight += 1
+                elif command[0] not in _JOURNALED:
+                    self._apply_inline(shard, command)
+                deadline = (time.monotonic()
+                            + self.config.response_timeout_s)
+
+    # ------------------------------------------------------------------
+    # Public surface (keyword-only from day one)
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServeError("service is closed")
+
+    def submit(self, pings) -> SubmitResult:
+        """Route a batch of pings to their shards (pipelined, non-blocking).
+
+        ``pings`` is an iterable of :class:`~repro.stream.Ping` objects
+        or ``(truck_id, day, lat, lng, t)`` tuples.  Pings bound for a
+        shard over its high-water mark are *rejected*, not queued:
+        they come back in the result for the caller to retry.
+        """
+        self._check_open()
+        pings = list(pings)
+        with obs_span("serve.submit", pings=len(pings)):
+            routes = self._routes
+            num_shards = self.config.num_shards
+            # Per shard: (truck_id, day) -> columnar (lats, lngs, ts),
+            # each truck's pings in submission order.  The workers
+            # apply the groups through the array ingest lane, so the
+            # frontend's single per-ping pass is the only one anywhere.
+            by_shard: dict[int, dict] = {}
+            # (truck_id, day) -> bound column appenders.  Routing and
+            # group setup run once per truck-day; the per-ping body is
+            # one dict probe and three appends.
+            appenders: dict = {}
+            for ping in pings:
+                if not isinstance(ping, tuple):
+                    ping = (ping.truck_id, ping.day, ping.lat,
+                            ping.lng, ping.t)
+                key = ping[:2]
+                adders = appenders.get(key)
+                if adders is None:
+                    truck_id = ping[0]
+                    index = routes.get(truck_id)
+                    if index is None:
+                        index = routes[truck_id] = shard_for(
+                            truck_id, num_shards)
+                    groups = by_shard.get(index)
+                    if groups is None:
+                        groups = by_shard[index] = {}
+                    rows = groups[key] = ([], [], [])
+                    adders = appenders[key] = (
+                        rows[0].append, rows[1].append, rows[2].append)
+                adders[0](ping[2])
+                adders[1](ping[3])
+                adders[2](ping[4])
+            accepted = 0
+            rejected: list = []
+            reasons: list[str] = []
+            for index in sorted(by_shard):
+                shard = self._shards[index]
+                self._pump(shard)
+                if shard.mode == "process" \
+                        and not shard.process.is_alive():
+                    self._restart_shard(shard, "worker died")
+                batch = by_shard[index]
+                size = sum(len(rows[2]) for rows in batch.values())
+                if shard.mode == "process" \
+                        and shard.inflight >= self.config.queue_high_water:
+                    for (truck_id, day), (lats, lngs, ts) in batch.items():
+                        rejected.extend(
+                            (truck_id, day, lats[i], lngs[i], ts[i])
+                            for i in range(len(ts)))
+                    reason = (f"backpressure: shard {index} has "
+                              f"{shard.inflight} un-acked commands "
+                              f"(high water "
+                              f"{self.config.queue_high_water})")
+                    reasons.append(reason)
+                    obs_event("serve.backpressure", shard=index,
+                              inflight=shard.inflight,
+                              rejected=size)
+                    continue
+                seq = shard.next_seq()
+                fault = chaos_point("serve.worker", key=str(index))
+                # Columns cross the queue as float64 arrays: they
+                # pickle as flat buffers, far cheaper than per-float
+                # list items, and the worker's array lane takes them
+                # as-is.
+                wire = {key: (np.asarray(rows[0], dtype=np.float64),
+                              np.asarray(rows[1], dtype=np.float64),
+                              np.asarray(rows[2], dtype=np.float64))
+                        for key, rows in batch.items()}
+                self._send(shard, ("ingest", seq, wire, None),
+                           fault=fault)
+                accepted += size
+            self.counters.submitted_pings += len(pings)
+            self.counters.accepted_pings += accepted
+            self.counters.rejected_pings += len(rejected)
+            self._publish_metrics()
+        return SubmitResult(accepted=accepted, rejected=len(rejected),
+                            rejected_pings=tuple(rejected),
+                            reasons=tuple(reasons))
+
+    def flush(self, truck_id: str, *, day: str = "") -> ProvisionalVerdict:
+        """Finalize one truck-day on its shard; returns the final verdict."""
+        self._check_open()
+        shard = self._shards[shard_for(truck_id, self.config.num_shards)]
+        command = ("flush", shard.next_seq(), truck_id, day)
+        self._send(shard, command, interest=True)
+        return self._await(shard, command)
+
+    def tick(self) -> list[ProvisionalVerdict]:
+        """One provisional-detection tick on every shard, merged."""
+        self._check_open()
+        commands = []
+        for shard in self._shards:
+            command = ("tick", shard.next_seq())
+            self._send(shard, command, interest=True)
+            commands.append((shard, command))
+        verdicts: list[ProvisionalVerdict] = []
+        for shard, command in commands:
+            verdicts.extend(self._await(shard, command))
+        return sorted(verdicts, key=lambda v: (v.day, v.truck_id))
+
+    def drain(self) -> list[ProvisionalVerdict]:
+        """Flush every known session on every shard (end of day).
+
+        Returns the merged final verdicts sorted by ``(day, truck_id)``
+        — a deterministic order regardless of shard count.
+        """
+        self._check_open()
+        with obs_span("serve.drain"):
+            commands = []
+            for shard in self._shards:
+                command = ("drain", shard.next_seq())
+                self._send(shard, command, interest=True)
+                commands.append((shard, command))
+            verdicts: list[ProvisionalVerdict] = []
+            for shard, command in commands:
+                verdicts.extend(self._await(shard, command))
+            self._publish_metrics()
+        return sorted(verdicts, key=lambda v: (v.day, v.truck_id))
+
+    def wait(self) -> None:
+        """Block until every submitted command has been acknowledged."""
+        self._check_open()
+        for shard in self._shards:
+            if shard.mode != "process":
+                continue
+            deadline = time.monotonic() + self.config.response_timeout_s
+            while shard.inflight > 0:
+                if not shard.process.is_alive():
+                    self._restart_shard(shard, "worker died")
+                    deadline = (time.monotonic()
+                                + self.config.response_timeout_s)
+                    continue
+                try:
+                    item = shard.responses.get(timeout=0.05)
+                except queue_mod.Empty:
+                    if time.monotonic() > deadline:
+                        self._restart_shard(
+                            shard, "worker hung (wait timeout)")
+                        deadline = (time.monotonic()
+                                    + self.config.response_timeout_s)
+                else:
+                    self._handle_response(shard, item)
+                    deadline = (time.monotonic()
+                                + self.config.response_timeout_s)
+
+    def stats(self) -> dict:
+        """Frontend counters plus every shard's manager stats."""
+        self._check_open()
+        shards: dict[str, dict] = {}
+        commands = []
+        for shard in self._shards:
+            command = ("stats", shard.next_seq())
+            self._send(shard, command, interest=True)
+            commands.append((shard, command))
+        for shard, command in commands:
+            fleet_stats = self._await(shard, command)
+            shards[str(shard.index)] = {
+                "mode": shard.mode,
+                "inflight": shard.inflight,
+                "journal_entries": len(shard.journal),
+                "barrier_seq": shard.barrier_seq,
+                "breaker": shard.breaker.stats(),
+                "fleet": fleet_stats,
+            }
+        self._publish_metrics()
+        return {
+            "num_shards": self.config.num_shards,
+            "backend": self.config.backend,
+            "frontend": self.counters.as_dict(),
+            "shards": shards,
+        }
+
+    def kill_worker(self, *, shard: int) -> bool:
+        """SIGKILL one shard's worker process (ops drill / soak hook).
+
+        The next interaction with the shard notices the corpse and runs
+        the normal restart-and-replay recovery.  Returns False when the
+        shard has no live process (inline mode, already dead).
+        """
+        target = self._shards[shard]
+        if target.mode == "process" and target.process is not None \
+                and target.process.is_alive():
+            target.process.kill()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Telemetry + shutdown
+    # ------------------------------------------------------------------
+    def _publish_metrics(self) -> None:
+        ob = active_obs()
+        if ob is None:
+            return
+        registry = ob.registry
+        for shard in self._shards:
+            registry.gauge("serve_queue_depth",
+                           help="un-acked commands per shard",
+                           labels={"shard": str(shard.index)}).set(
+                               shard.inflight)
+            registry.gauge("serve_journal_entries",
+                           help="journaled commands per shard",
+                           labels={"shard": str(shard.index)}).set(
+                               len(shard.journal))
+        for name, value in self.counters.as_dict().items():
+            registry.gauge(f"serve_{name}",
+                           help="ServeCounters mirror").set(value)
+
+    def close(self) -> None:
+        """Stop every worker; the service rejects calls afterwards."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            if shard.mode != "process" or shard.process is None:
+                continue
+            try:
+                shard.requests.put(("stop", shard.next_seq()),
+                                   timeout=0.5)
+            except queue_mod.Full:
+                pass
+            shard.process.join(timeout=2.0)
+            if shard.process.is_alive():
+                shard.process.kill()
+                shard.process.join(timeout=5.0)
+            shard.process = None
+
+    def __enter__(self) -> "FleetService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

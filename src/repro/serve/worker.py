@@ -1,0 +1,110 @@
+"""Shard worker: one FleetSessionManager driven by a command queue.
+
+The wire protocol is deliberately tiny — plain tuples whose first two
+elements are always ``(kind, seq)`` — and every command is applied by
+:func:`apply_command`, which the in-process (``inline``) backend calls
+directly.  Both backends therefore execute *identical* code against the
+session manager; the process backend merely moves the tuples across a
+pair of ``multiprocessing`` queues.
+
+Commands (responses are ``(seq, "ok", payload)`` or
+``(seq, "error", message)``):
+
+========================  ====================================================
+``("ingest", seq, batch, fault)``  ``batch`` maps ``(truck_id, day)`` to
+                          columnar ``(lats, lngs, ts)`` lists, each
+                          truck's pings in submission order; ``fault``
+                          is a parent-drawn :class:`~repro.chaos.Fault`
+                          (or None) enforced *before* the batch is
+                          applied, so a crashed worker never
+                          half-applies it.
+``("tick", seq)``         provisional verdicts for resident sessions.
+``("flush", seq, truck_id, day)``  final verdict for one truck-day.
+``("drain", seq)``        final verdicts for every known session.
+``("stats", seq)``        the manager's ``stats()`` dict.
+``("barrier", seq, dir)`` ``checkpoint_all`` into ``dir`` (restart protocol).
+``("stop", seq)``         acknowledge and exit the loop.
+========================  ====================================================
+
+Per-truck ordering is structural: one FIFO queue, one single-threaded
+consumer, and deterministic routing in the frontend mean a truck's
+pings are applied in submission order, always on the same manager.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from ..stream.fleet import FleetConfig, FleetSessionManager
+
+__all__ = ["apply_command", "worker_main"]
+
+
+def apply_command(manager: FleetSessionManager, command: tuple):
+    """Apply one protocol command to a shard's session manager."""
+    kind = command[0]
+    if kind == "ingest":
+        # The frontend ships the batch pre-grouped by truck-day with
+        # each truck's pings in submission order; sessions are
+        # independent, so applying group by group through the array
+        # lane ends in state bit-identical to per-ping ingest.
+        count = 0
+        for (truck_id, day), (lats, lngs, ts) in command[2].items():
+            manager.ingest_batch(truck_id, lats, lngs, ts, day=day)
+            count += len(ts)
+        return count
+    if kind == "tick":
+        return manager.tick()
+    if kind == "flush":
+        return manager.flush(command[2], day=command[3])
+    if kind == "drain":
+        return manager.flush_all()
+    if kind == "stats":
+        return manager.stats()
+    if kind == "barrier":
+        return manager.checkpoint_all(directory=command[2])
+    raise ValueError(f"unknown serve command {kind!r}")
+
+
+def _enforce_fault(fault) -> None:
+    """Honor a parent-drawn chaos decision inside the worker.
+
+    ``crash`` exits hard (no cleanup, mimicking SIGKILL/OOM); ``hang``
+    stalls past the frontend's response timeout so the parent's
+    hung-worker detection — not this sleep — decides the outcome.
+    """
+    if fault is None:
+        return
+    if fault.kind == "crash":
+        os._exit(3)
+    if fault.kind == "hang":
+        time.sleep(fault.param if fault.param is not None else 60.0)
+
+
+def worker_main(shard_id: int, detector, fleet_config: FleetConfig,
+                requests, responses) -> None:
+    """Entry point of one forked shard worker process.
+
+    Consumes commands until ``stop``; any per-command exception is
+    reported as an ``error`` response (the worker survives — the
+    session manager already isolates input-dependent failures, so an
+    escaping exception is a programming error worth surfacing, not
+    worth dying for).
+    """
+    manager = FleetSessionManager(detector, fleet_config)
+    manager.adopt_spills()
+    while True:
+        command = requests.get()
+        kind, seq = command[0], command[1]
+        if kind == "stop":
+            responses.put((seq, "ok", None))
+            return
+        if kind == "ingest":
+            _enforce_fault(command[3])
+        try:
+            payload = apply_command(manager, command)
+        except Exception as exc:   # noqa: BLE001 - report, don't die
+            responses.put((seq, "error", f"{type(exc).__name__}: {exc}"))
+            continue
+        responses.put((seq, "ok", payload))

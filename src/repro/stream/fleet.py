@@ -41,11 +41,12 @@ import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from urllib.parse import quote
+from urllib.parse import quote, unquote
 
 from ..chaos.core import InjectedFault, chaos_point
+from ..configbase import ConfigMixin
 from ..errors import ArtifactCorruptedError
-from ..io import atomic_write_json, load_checked_json
+from ..io import atomic_write_bytes, atomic_write_json, load_checked_json
 from ..obs.core import active_obs, obs_event
 from ..processing import RawTrajectoryProcessor
 from ..supervise import CircuitBreaker, Quarantine, RetryPolicy
@@ -64,7 +65,7 @@ def _default_io_retry() -> RetryPolicy:
 
 
 @dataclass
-class FleetConfig:
+class FleetConfig(ConfigMixin):
     """Serving knobs of the fleet session manager."""
 
     #: Resident session bound; LRU sessions beyond it are evicted
@@ -178,11 +179,14 @@ class FleetSessionManager:
     def _chaos_key(session: TruckSession) -> str:
         return f"{session.truck_id}|{session.day}"
 
+    @staticmethod
+    def _spill_name(key: SessionKey) -> str:
+        return quote(f"{key[0]}|{key[1]}", safe="") + ".json"
+
     def _checkpoint_path(self, key: SessionKey) -> Path | None:
         if self.config.checkpoint_dir is None:
             return None
-        name = quote(f"{key[0]}|{key[1]}", safe="")
-        return Path(self.config.checkpoint_dir) / f"{name}.json"
+        return Path(self.config.checkpoint_dir) / self._spill_name(key)
 
     def session(self, truck_id: str, day: str = "") -> TruckSession:
         """The resident session for a truck-day (restored or created)."""
@@ -296,6 +300,17 @@ class FleetSessionManager:
                day: str = "") -> int:
         """Route one raw ping to its session; returns stay points closed."""
         return self._session((truck_id, day)).ingest(lat, lng, t)
+
+    def ingest_batch(self, truck_id: str, lats, lngs, ts, *,
+                     day: str = "") -> int:
+        """Route many pings for one truck-day through the array lane.
+
+        Semantically identical to calling :meth:`ingest` per ping — see
+        :meth:`TruckSession.ingest_batch` for the bit-exactness
+        contract.  The serve workers use this to apply whole submitted
+        batches at array speed.
+        """
+        return self._session((truck_id, day)).ingest_batch(lats, lngs, ts)
 
     # ------------------------------------------------------------------
     # Detection ticks
@@ -527,8 +542,21 @@ class FleetSessionManager:
     # ------------------------------------------------------------------
     # Flush (end of day)
     # ------------------------------------------------------------------
-    def flush(self, truck_id: str, day: str = "") -> ProvisionalVerdict:
-        """Finalize one session and return its *final* verdict."""
+    def flush(self, truck_id: str, *args, day: str = "") -> ProvisionalVerdict:
+        """Finalize one session and return its *final* verdict.
+
+        ``day`` is keyword-only; the historical positional form still
+        works behind a :class:`DeprecationWarning` shim.
+        """
+        if args:
+            if len(args) > 1:
+                raise TypeError(
+                    "flush() takes truck_id plus the keyword day only")
+            warnings.warn(
+                "passing day positionally to FleetSessionManager.flush is "
+                "deprecated; use flush(truck_id, day=...)",
+                DeprecationWarning, stacklevel=2)
+            day = args[0]
         return self._flush_keys([(truck_id, day)])[0]
 
     def flush_all(self) -> list[ProvisionalVerdict]:
@@ -580,6 +608,69 @@ class FleetSessionManager:
             self.counters.sessions_flushed += 1
         self.counters.verdicts_emitted += len(verdicts)
         return verdicts
+
+    # ------------------------------------------------------------------
+    # Barrier snapshots (serve-layer restart protocol)
+    # ------------------------------------------------------------------
+    def checkpoint_all(self, *, directory: str | Path | None = None) -> int:
+        """Snapshot every known session's state into ``directory``.
+
+        Resident sessions are written fresh from ``state()``; evicted
+        sessions' existing spill files are copied verbatim — exact,
+        because an evicted session receives no pings while evicted.
+        The manager's own state is untouched: this is a read-only
+        barrier snapshot used by :mod:`repro.serve`'s restart protocol.
+        Returns the number of sessions captured.
+        """
+        if directory is None:
+            directory = self.config.checkpoint_dir
+        if directory is None:
+            raise ValueError(
+                "checkpoint_all needs a directory when the manager has "
+                "no checkpoint_dir")
+        target = Path(directory)
+        target.mkdir(parents=True, exist_ok=True)
+        captured = 0
+        for key, session in self._sessions.items():
+            self.config.io_retry.call(
+                atomic_write_json, target / self._spill_name(key),
+                session.state())
+            captured += 1
+        source = (Path(self.config.checkpoint_dir)
+                  if self.config.checkpoint_dir is not None else None)
+        if source is not None and source != target:
+            for key in self._known:
+                if key in self._sessions:
+                    continue
+                spill = source / self._spill_name(key)
+                if spill.exists():
+                    self.config.io_retry.call(
+                        atomic_write_bytes, target / self._spill_name(key),
+                        spill.read_bytes())
+                    captured += 1
+        return captured
+
+    def adopt_spills(self) -> int:
+        """Register every on-disk spill as a known session.
+
+        After a restart a fresh manager's known set is empty, so a
+        checkpointed truck that never pings again would be invisible to
+        :meth:`flush_all`.  Scanning ``checkpoint_dir`` re-registers
+        those keys (sessions restore lazily on first touch).  Returns
+        the number of keys adopted.
+        """
+        if self.config.checkpoint_dir is None:
+            return 0
+        adopted = 0
+        for path in sorted(Path(self.config.checkpoint_dir).glob("*.json")):
+            truck_id, sep, day = unquote(path.stem).partition("|")
+            if not sep:
+                continue
+            key = (truck_id, day)
+            if key not in self._known:
+                self._known[key] = None
+                adopted += 1
+        return adopted
 
     # ------------------------------------------------------------------
     # Introspection

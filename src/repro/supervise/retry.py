@@ -23,6 +23,7 @@ from typing import Callable, TypeVar
 
 import numpy as np
 
+from ..configbase import ConfigMixin
 from ..obs.core import obs_event
 
 __all__ = ["RetryPolicy", "RetryCounters"]
@@ -52,7 +53,7 @@ class _AttemptTimeout(Exception):
 
 
 @dataclass(frozen=True)
-class RetryPolicy:
+class RetryPolicy(ConfigMixin):
     """How to retry one logical operation.
 
     ``max_attempts`` bounds total tries (1 = no retry).  Backoff before
@@ -71,9 +72,13 @@ class RetryPolicy:
     jitter: float = 0.1
     seed: int = 0
     timeout_s: float | None = None
-    retry_on: tuple[type[BaseException], ...] = (OSError,)
+    # Exception types and live tallies have no JSON form; both stay off
+    # the config dict surface (see repro.configbase).
+    retry_on: tuple[type[BaseException], ...] = field(
+        default=(OSError,), metadata={"config_exclude": True})
     counters: RetryCounters = field(default_factory=RetryCounters,
-                                    compare=False)
+                                    compare=False,
+                                    metadata={"config_exclude": True})
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:

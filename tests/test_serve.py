@@ -1,0 +1,327 @@
+"""Serve-layer tests: sharded convergence, routing purity, backpressure,
+restart-under-fire, the uniform config surface, the ``repro.api``
+covenant, and the deprecation shims on the legacy entrypoints."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos import ChaosEngine, FaultSpec
+from repro.data import (DatasetConfig, SyntheticWorld, WorldConfig,
+                        generate_dataset)
+from repro.detection import DetectorTrainingConfig
+from repro.encoding import AutoencoderTrainingConfig
+from repro.pipeline import LEAD, LEADConfig
+from repro.serve import (FleetService, ServeConfig, ServeError, shard_for)
+from repro.stream import (FleetConfig, FleetSessionManager,
+                          dataset_ping_stream)
+
+
+def tiny_lead_config(**overrides) -> LEADConfig:
+    base = dict(
+        encoder_training=AutoencoderTrainingConfig(
+            epochs=1, max_samples_per_epoch=30, batch_size=8, seed=0),
+        detector_training=DetectorTrainingConfig(
+            epochs=1, batch_size=4, seed=0),
+        max_autoencoder_samples=40,
+        seed=0)
+    base.update(overrides)
+    return LEADConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def world_and_data():
+    world = SyntheticWorld(WorldConfig(seed=13))
+    dataset = generate_dataset(
+        DatasetConfig(num_trajectories=50, num_trucks=20, seed=13),
+        world=world)
+    return world, dataset
+
+
+@pytest.fixture(scope="module")
+def fitted(world_and_data):
+    world, dataset = world_and_data
+    lead = LEAD(world.pois, tiny_lead_config())
+    lead.fit(dataset.samples[:8])
+    return lead
+
+
+@pytest.fixture(scope="module")
+def pings(world_and_data):
+    _, dataset = world_and_data
+    return dataset_ping_stream(dataset.samples)
+
+
+@pytest.fixture(scope="module")
+def serial_verdicts(fitted, pings):
+    """Reference final verdicts from a serial single-manager replay."""
+    manager = FleetSessionManager(fitted, FleetConfig())
+    for ping in pings:
+        manager.ingest(ping.truck_id, ping.lat, ping.lng, ping.t,
+                       day=ping.day)
+    return {(v.truck_id, v.day): v for v in manager.flush_all()}
+
+
+def assert_same_verdict(sharded, serial) -> None:
+    """The serve-layer convergence predicate: same pair, same
+    confidence, same provenance tier, allclose distribution."""
+    assert sharded.pair == serial.pair
+    assert sharded.confidence == serial.confidence
+    if serial.distribution is None:
+        assert sharded.distribution is None
+    else:
+        assert np.allclose(sharded.distribution, serial.distribution,
+                           rtol=1e-9, atol=0.0)
+    if serial.provenance is not None:
+        assert sharded.provenance.tier == serial.provenance.tier
+
+
+def drain_service(service, pings, *, batch=500, ticks=True) -> dict:
+    index = 0
+    for start in range(0, len(pings), batch):
+        result = service.submit(pings[start:start + batch])
+        while result.rejected:
+            service.wait()
+            result = service.submit(result.rejected_pings)
+        index += 1
+        if ticks and index % 10 == 0:
+            service.tick()
+    return {(v.truck_id, v.day): v for v in service.drain()}
+
+
+# ---------------------------------------------------------------------------
+# 1. Sharded == serial convergence (the tentpole contract)
+# ---------------------------------------------------------------------------
+class TestShardedConvergence:
+    def test_process_backend_matches_serial(self, fitted, pings,
+                                            serial_verdicts):
+        config = ServeConfig(num_shards=4)
+        with FleetService(fitted, config=config) as service:
+            sharded = drain_service(service, pings)
+        assert set(sharded) == set(serial_verdicts)
+        assert len(sharded) == 50
+        for key, serial in serial_verdicts.items():
+            assert_same_verdict(sharded[key], serial)
+
+    def test_inline_backend_matches_serial(self, fitted, pings,
+                                           serial_verdicts):
+        config = ServeConfig(num_shards=3, backend="inline")
+        with FleetService(fitted, config=config) as service:
+            sharded = drain_service(service, pings)
+        assert set(sharded) == set(serial_verdicts)
+        for key, serial in serial_verdicts.items():
+            assert_same_verdict(sharded[key], serial)
+
+    def test_worker_kill_converges(self, fitted, pings, serial_verdicts,
+                                   tmp_path):
+        """Chaos kills + an explicit midpoint SIGKILL: the shard restarts
+        from its barrier snapshot, replays its journal, and still
+        converges verdict for verdict."""
+        config = ServeConfig(num_shards=4, checkpoint_dir=tmp_path,
+                             checkpoint_every=8)
+        specs = [FaultSpec(site="serve.worker", kind="kill", rate=0.1,
+                           max_fires=2)]
+        with FleetService(fitted, config=config) as service:
+            with ChaosEngine(seed=7, specs=specs):
+                batches = [pings[i:i + 500]
+                           for i in range(0, len(pings), 500)]
+                for i, batch in enumerate(batches):
+                    if i == len(batches) // 2:
+                        assert service.kill_worker(shard=1)
+                    result = service.submit(batch)
+                    while result.rejected:
+                        service.wait()
+                        result = service.submit(result.rejected_pings)
+                sharded = {(v.truck_id, v.day): v
+                           for v in service.drain()}
+            stats = service.stats()
+        assert stats["frontend"]["restarts"] >= 1
+        assert set(sharded) == set(serial_verdicts)
+        for key, serial in serial_verdicts.items():
+            assert_same_verdict(sharded[key], serial)
+
+
+# ---------------------------------------------------------------------------
+# 2. Routing is a pure function of the truck id
+# ---------------------------------------------------------------------------
+class TestRouting:
+    @settings(max_examples=200, deadline=None)
+    @given(truck_id=st.text(min_size=1, max_size=40),
+           num_shards=st.integers(min_value=1, max_value=64))
+    def test_routing_is_pure_and_bounded(self, truck_id, num_shards):
+        first = shard_for(truck_id, num_shards)
+        assert 0 <= first < num_shards
+        assert shard_for(truck_id, num_shards) == first
+
+    def test_routing_is_stable_across_processes(self):
+        # blake2b is keyless and seed-free, so these pins hold on any
+        # machine, any PYTHONHASHSEED — restart safety depends on it.
+        assert [shard_for(f"T{i:03d}", 4) for i in range(6)] \
+            == [0, 2, 2, 0, 0, 2]
+
+    def test_routing_spreads_trucks(self):
+        shards = {shard_for(f"truck-{i:04d}", 4) for i in range(200)}
+        assert shards == {0, 1, 2, 3}
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            shard_for("t", 0)
+
+
+# ---------------------------------------------------------------------------
+# 3. Admission control (backpressure, not buffering)
+# ---------------------------------------------------------------------------
+class TestBackpressure:
+    def test_overloaded_shard_rejects_then_recovers(self, pings):
+        config = ServeConfig(num_shards=1, queue_high_water=1,
+                             response_timeout_s=30.0)
+        spec = FaultSpec(site="serve.worker", kind="hang", rate=1.0,
+                         max_fires=1, param=0.6)
+        feed = pings[:600]
+        with FleetService(None, config=config) as service:
+            with ChaosEngine(seed=3, specs=[spec]):
+                first = service.submit(feed[:200])     # worker hangs
+                assert first.accepted == 200
+                second = service.submit(feed[200:400])
+                assert second.rejected == 200
+                assert second.accepted == 0
+                assert any("backpressure" in r for r in second.reasons)
+                service.wait()
+                retry = service.submit(second.rejected_pings)
+                assert retry.rejected == 0
+                service.wait()   # high water 1: drain before the next batch
+                third = service.submit(feed[400:])
+                assert third.rejected == 0
+            service.wait()
+            stats = service.stats()
+        assert stats["frontend"]["rejected_pings"] == 200
+        assert stats["frontend"]["submitted_pings"] == 800
+        assert stats["frontend"]["accepted_pings"] == 600
+
+    def test_rejected_pings_resubmit_preserves_per_truck_order(self):
+        config = ServeConfig(num_shards=1, backend="inline")
+        rows = [("T1", "d", 1.0 + i * 1e-4, 2.0, float(i))
+                for i in range(10)]
+        with FleetService(None, config=config) as service:
+            result = service.submit(rows)
+            assert result.rejected == 0   # inline never backpressures
+            stats = service.stats()
+        fleet = stats["shards"]["0"]["fleet"]
+        assert fleet["sessions"]["pings_ingested"] == 10
+
+
+# ---------------------------------------------------------------------------
+# 4. Uniform config surface (from_dict / to_dict, unknown keys fail)
+# ---------------------------------------------------------------------------
+class TestConfigSurface:
+    def test_serve_config_round_trips(self):
+        config = ServeConfig(num_shards=7, queue_high_water=9,
+                             checkpoint_dir="/tmp/x", checkpoint_every=3,
+                             fleet=FleetConfig(max_sessions=5))
+        clone = ServeConfig.from_dict(config.to_dict())
+        assert clone == config
+        assert clone.fleet.max_sessions == 5
+
+    def test_lead_config_round_trips(self):
+        config = tiny_lead_config(detector_hidden=32)
+        clone = LEADConfig.from_dict(config.to_dict())
+        assert clone == config
+        assert clone.encoder_training.epochs == 1
+
+    @pytest.mark.parametrize("cls", [ServeConfig, LEADConfig,
+                                     FleetConfig])
+    def test_unknown_keys_fail_loudly(self, cls):
+        with pytest.raises(ValueError, match="not_a_knob"):
+            cls.from_dict({"not_a_knob": 1})
+
+    def test_nested_unknown_key_fails(self):
+        with pytest.raises(ValueError, match="bogus"):
+            ServeConfig.from_dict({"fleet": {"bogus": 2}})
+
+    def test_serve_config_validates(self):
+        with pytest.raises(ValueError):
+            ServeConfig(num_shards=0)
+        with pytest.raises(ValueError):
+            ServeConfig(backend="threads")
+
+
+# ---------------------------------------------------------------------------
+# 5. The repro.api covenant
+# ---------------------------------------------------------------------------
+class TestApiFacade:
+    def test_root_forwards_every_covenant_name(self):
+        import repro
+        import repro.api
+        for name in repro.api.__all__:
+            assert getattr(repro, name) is getattr(repro.api, name), name
+
+    def test_legacy_names_still_resolve(self):
+        import repro
+        assert repro.Trajectory is not None
+        assert repro.TruckSession is not None
+
+    def test_dir_covers_both_surfaces(self):
+        import repro
+        names = dir(repro)
+        assert "FleetService" in names
+        assert "Trajectory" in names
+
+    def test_unknown_name_raises_attribute_error(self):
+        import repro
+        with pytest.raises(AttributeError):
+            repro.definitely_not_a_name
+
+
+# ---------------------------------------------------------------------------
+# 6. Keyword-only covenant + deprecation shims
+# ---------------------------------------------------------------------------
+class TestEntrypointShims:
+    def test_serve_apis_are_keyword_only(self):
+        config = ServeConfig(num_shards=1, backend="inline")
+        with FleetService(None, config=config) as service:
+            with pytest.raises(TypeError):
+                service.flush("T1", "day")     # day must be keyword
+            with pytest.raises(TypeError):
+                service.kill_worker(0)         # shard must be keyword
+
+    def test_fleet_flush_positional_day_warns(self):
+        manager = FleetSessionManager(None, FleetConfig())
+        manager.ingest("T1", 1.0, 2.0, 0.0, "d0")
+        with pytest.warns(DeprecationWarning, match="flush"):
+            old = manager.flush("T1", "d0")
+        manager2 = FleetSessionManager(None, FleetConfig())
+        manager2.ingest("T1", 1.0, 2.0, 0.0, "d0")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            new = manager2.flush("T1", day="d0")
+        assert old.pair == new.pair
+
+    def test_detect_batch_positional_direction_warns(self, fitted):
+        with pytest.warns(DeprecationWarning, match="direction"):
+            assert fitted.detect_processed_batch([], "both") == []
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert fitted.detect_processed_batch([]) == []
+        with pytest.raises(TypeError):
+            fitted.detect_processed_batch([], "both", "extra")
+
+    def test_load_positional_strict_warns(self, world_and_data, fitted,
+                                          tmp_path):
+        world, _ = world_and_data
+        fitted.save(tmp_path / "model")
+        with pytest.warns(DeprecationWarning, match="strict"):
+            lead = LEAD(world.pois, tiny_lead_config()).load(
+                tmp_path / "model", True)
+        assert lead.detect_processed_batch([]) == []
+
+    def test_closed_service_rejects_calls(self):
+        service = FleetService(None, config=ServeConfig(
+            num_shards=1, backend="inline"))
+        service.close()
+        with pytest.raises(ServeError):
+            service.submit([])
